@@ -1,0 +1,30 @@
+"""Design-choice sensitivity sweeps (DESIGN.md's ablation benches)."""
+
+from repro.bench import write_report
+from repro.bench.ablations import run_design_ablations
+
+from conftest import bench_max_edges
+
+
+def test_design_ablations(run_once):
+    results = run_once(
+        run_design_ablations,
+        graphs=("arxiv", "ddi"),
+        max_edges=bench_max_edges(),
+    )
+    report = "\n\n".join(r.render() for r in results)
+    print("\n" + report)
+    write_report("ablations", report)
+
+    for res in results:
+        assert len(res.times_us) == len(res.values)
+        assert all(t > 0 for t in res.times_us)
+        # The library's chosen setting is never catastrophically wrong:
+        # within 2.5x of the sweep's best for every knob and graph.
+        assert res.regret() < 2.5, (res.name, res.graph, res.regret())
+
+    # DTP's NnzPerWarp pick is near-optimal (within 40% of the best
+    # candidate) on both graphs.
+    for res in results:
+        if res.name == "NnzPerWarp":
+            assert res.regret() < 1.4, (res.graph, res.regret())

@@ -1,0 +1,34 @@
+"""Fig. 10 — kernel performance over the graph-sampling dataset (V100)."""
+
+from repro.bench import run_fig10, write_report
+
+from conftest import bench_max_edges, bench_subgraphs
+
+
+def test_fig10_sampling_dataset(run_once):
+    res = run_once(
+        run_fig10,
+        k=64,
+        max_edges=bench_max_edges(),
+        num_subgraphs=bench_subgraphs(),
+    )
+    report = res.render()
+    print("\n" + report)
+    write_report("fig10", report)
+
+    # Paper Table III (graph-sampling column) shape: HP wins on ~all
+    # subgraphs against every baseline, without any preprocessing.
+    for baseline in (
+        "cusparse-csr-alg2",
+        "cusparse-csr-alg3",
+        "cusparse-coo-alg4",
+        "ge-spmm",
+        "row-split",
+    ):
+        avg, pct = res.spmm.summary_vs("hp-spmm", baseline)
+        assert avg > 1.0, baseline
+        assert pct > 85.0, baseline
+
+    for baseline in ("dgl-sddmm", "cusparse-csr-sddmm"):
+        avg, pct = res.sddmm.summary_vs("hp-sddmm", baseline)
+        assert avg > 1.0, baseline

@@ -1,0 +1,28 @@
+"""Fig. 11 — ablation of DTP, HVMA and GCR on four representative graphs."""
+
+from repro.bench import run_fig11, write_report
+
+from conftest import locality_max_edges
+
+
+def test_fig11_ablation(run_once):
+    res = run_once(run_fig11, max_edges=locality_max_edges())
+    report = res.render()
+    print("\n" + report)
+    write_report("fig11", report)
+
+    for graph in res.graphs:
+        # DTP + HVMA combined never hurt (paper: "robust to various
+        # graphs").
+        assert res.speedup(graph, "+dtp+hvma") >= 0.95
+        # Adding GCR on top never hurts.
+        assert res.speedup(graph, "+dtp+hvma+gcr") >= res.speedup(
+            graph, "+dtp+hvma"
+        ) * 0.99
+
+    # Graph-dependent GCR benefit (paper: ~40% on Yelp/PPA, <10% on
+    # AM/DDI).
+    assert res.gcr_gain("yelp") > 0.25
+    assert res.gcr_gain("ppa") > 0.25
+    assert res.gcr_gain("am") < 0.15
+    assert res.gcr_gain("ddi") < 0.15

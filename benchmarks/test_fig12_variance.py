@@ -1,0 +1,18 @@
+"""Fig. 12 — speedup over GE-SpMM vs node-degree standard deviation."""
+
+from repro.bench import run_fig12, write_report
+
+
+def test_fig12_degree_variance_sensitivity(run_once):
+    res = run_once(run_fig12, num_graphs=10, num_nodes=20_000)
+    report = res.render()
+    print("\n" + report)
+    write_report("fig12", report)
+
+    # Paper: Pearson's r = 0.90 between degree std-dev and speedup.
+    assert res.pearson > 0.7
+    # Mean degree controlled within the paper's 21-25 band.
+    assert all(19 < m < 27 for m in res.mean_degrees)
+    # The most skewed graph shows a clearly larger speedup than the most
+    # regular one.
+    assert res.speedups[-1] > 2 * res.speedups[0]

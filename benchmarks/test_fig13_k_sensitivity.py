@@ -1,0 +1,27 @@
+"""Fig. 13 — throughput vs feature dimension K on Flickr."""
+
+from repro.bench import run_fig13, write_report
+
+from conftest import bench_max_edges
+
+
+def test_fig13_k_sensitivity(run_once):
+    res = run_once(run_fig13, graph="flickr", max_edges=bench_max_edges())
+    report = res.render()
+    print("\n" + report)
+    write_report("fig13", report)
+
+    ours = res.gflops["hp-spmm"]
+    ge = res.gflops["ge-spmm"]
+    cu = res.gflops["cusparse-csr-alg2"]
+
+    # Ours: basically flat across K (paper wording), always ahead.
+    assert max(ours) / min(ours) < 3.0
+    # Baselines improve as K grows (per-nonzero overheads amortize).
+    assert ge[-1] > 2 * ge[0]
+    assert cu[-1] > cu[0]
+    # Therefore relative speedups shrink with K.
+    s_ge = res.speedup_series("ge-spmm")
+    s_cu = res.speedup_series("cusparse-csr-alg2")
+    assert s_ge[0] > s_ge[-1] > 1.0
+    assert s_cu[0] > s_cu[-1] > 1.0

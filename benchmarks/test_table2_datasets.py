@@ -1,0 +1,27 @@
+"""Table II — dataset inventory and calibration audit."""
+
+from repro.bench import run_table2, write_report
+
+from conftest import bench_max_edges
+
+
+def test_table2_dataset_calibration(run_once):
+    res = run_once(run_table2, max_edges=bench_max_edges())
+    report = res.render()
+    print("\n" + report)
+    write_report("table2", report)
+
+    # All 19 paper datasets present with positive sizes.
+    assert len(res.rows) == 19
+    for row in res.rows:
+        name, _, p_nodes, p_edges, s_nodes, s_edges, mean, std, mx = row
+        assert s_nodes > 0 and s_edges > 0
+        assert s_nodes <= p_nodes
+        # Mean degree preserved under scaling unless density-capped.
+        paper_deg = p_edges / p_nodes
+        if paper_deg < 0.2 * s_nodes:
+            assert mean == __import__("pytest").approx(paper_deg, rel=0.35)
+
+    # Degree skew present where the paper's graphs are skewed.
+    am = res.row("am")
+    assert am[7] > 5 * am[6]  # std >> mean on the AM entity graph

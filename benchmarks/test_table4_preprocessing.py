@@ -1,0 +1,31 @@
+"""Table IV — preprocessing vs execution of preprocess-based kernels."""
+
+from repro.bench import run_table4, write_report
+
+from conftest import locality_max_edges
+
+
+def test_table4_preprocessing_comparison(run_once):
+    res = run_once(run_table4, k=64, max_edges=locality_max_edges())
+    report = res.render()
+    print("\n" + report)
+    write_report("table4", report)
+
+    for graph in ("corafull", "am", "amazon"):
+        hp_exe = res.entry(graph, "hp-spmm", "exe")
+        # Preprocessing dominates execution for the analysis-heavy
+        # baselines (paper: up to 43x) ...
+        for kernel in ("aspt", "sputnik", "huang-ng"):
+            pre = res.entry(graph, kernel, "pre")
+            exe = res.entry(graph, kernel, "exe")
+            assert pre > exe, (graph, kernel)
+        # ... while merge-path's binary-search pre-pass is the cheapest.
+        mp_pre = res.entry(graph, "merge-path", "pre")
+        assert mp_pre < res.entry(graph, "huang-ng", "pre")
+        assert mp_pre < res.entry(graph, "aspt", "pre")
+        # HP-SpMM executes competitively without any preprocessing.
+        best_other_exe = min(
+            res.entry(graph, k, "exe")
+            for k in ("aspt", "sputnik", "merge-path", "huang-ng")
+        )
+        assert hp_exe <= best_other_exe * 1.6, graph

@@ -1,0 +1,52 @@
+"""FusedMM demo: fusing SDDMM + SpMM (paper related work [22]).
+
+Usage::
+
+    python examples/fusedmm_demo.py [graph-name]
+
+Attention-style aggregation computes ``O = S(g(SDDMM(S, H, H))) @ H``.
+Running the paper's two kernels back to back writes the nnz-length edge
+scores to global memory and reads them (plus the sparse indices) straight
+back.  FusedMM keeps them in registers/shared memory.  This demo
+quantifies the saving with the simulator and verifies the fused numerics.
+"""
+
+import sys
+
+import numpy as np
+
+from repro.bench import render_table
+from repro.formats import HybridMatrix
+from repro.gpusim import TESLA_V100
+from repro.graphs import load_graph
+from repro.kernels import FusedMM, fusedmm_reference, sddmm_reference, spmm_reference
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "arxiv"
+    S = load_graph(name, max_edges=600_000).matrix
+    k = 64
+    rng = np.random.default_rng(0)
+    H = rng.standard_normal((S.shape[0], k)).astype(np.float32) * 0.1
+    assert S.shape[0] == S.shape[1]
+
+    fused = FusedMM().run(S, H, H, H, device=TESLA_V100)
+    # Verify against the two-kernel composition.
+    vals = sddmm_reference(S, H, H)
+    weighted = HybridMatrix(row=S.row, col=S.col, val=vals, shape=S.shape)
+    expected = spmm_reference(weighted, H)
+    err = np.abs(fused.output - expected).max()
+
+    print(render_table(
+        ["graph", "nnz", "fused (us)", "unfused (us)", "fusion speedup",
+         "max err"],
+        [[name, S.nnz, fused.stats.time_us, fused.unfused_time_s * 1e6,
+          fused.fusion_speedup, f"{err:.1e}"]],
+        title=f"FusedMM vs HP-SDDMM + HP-SpMM (K={k}, Tesla V100)",
+    ))
+    print("\nthe saving = the nnz intermediate's round trip plus the second"
+          "\npass over the sparse index arrays (see repro.kernels.fusedmm).")
+
+
+if __name__ == "__main__":
+    main()

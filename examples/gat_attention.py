@@ -1,0 +1,76 @@
+"""Attention GNN training: both HP kernels in one model.
+
+Usage::
+
+    python examples/gat_attention.py [graph-name]
+
+Trains a dot-product-attention GNN (GAT-style).  Each layer runs an
+SDDMM (edge scores) and an SpMM (attention-weighted aggregation), and
+their backward passes run the *other* kernel — so swapping the HP
+kernels in accelerates four sparse products per layer per step.  This is
+the workload mix that motivates unifying SpMM and SDDMM under one hybrid
+parallel strategy (paper Sections I-II).
+"""
+
+import sys
+
+import numpy as np
+
+from repro.bench import render_table
+from repro.gnn import GAT, Adam, GraphOperand, SyntheticTask, Tensor, TimingContext
+from repro.graphs import load_graph
+
+
+def train(graph, task, *, spmm_kernel, sddmm_kernel, epochs=6, seed=0):
+    model = GAT(task.features.shape[1], 32, task.num_classes, num_layers=2,
+                seed=seed)
+    opt = Adam(model.parameters(), lr=0.01)
+    timing = TimingContext(spmm_kernel=spmm_kernel, sddmm_kernel=sddmm_kernel)
+    x = Tensor(task.features)
+    losses = []
+    for _ in range(epochs):
+        model.zero_grad()
+        loss = model.loss(graph, x, task.labels, timing)
+        loss.backward()
+        opt.step()
+        losses.append(float(loss.data))
+    return losses, timing
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "corafull"
+    ds = load_graph(name, max_edges=300_000)
+    graph = GraphOperand(ds.matrix)
+    task = SyntheticTask.for_graph(ds.matrix, in_features=32, seed=0)
+    print(f"attention GNN on {ds.name}: {ds.num_nodes} nodes, "
+          f"{ds.num_edges} edges\n")
+
+    configs = {
+        "stock kernels": ("cusparse-csr-alg2", "cusparse-csr-sddmm"),
+        "HP kernels": ("hp-spmm", "hp-sddmm"),
+    }
+    rows, results = [], {}
+    for label, (spmm_k, sddmm_k) in configs.items():
+        losses, timing = train(
+            graph, task, spmm_kernel=spmm_k, sddmm_kernel=sddmm_k
+        )
+        results[label] = timing
+        rows.append([
+            label, losses[0], losses[-1],
+            timing.total_s * 1e3, timing.sparse_s * 1e3,
+            timing.num_sparse_ops,
+        ])
+    print(render_table(
+        ["configuration", "loss[0]", "loss[-1]", "GPU (ms)", "sparse (ms)",
+         "#sparse ops"],
+        rows,
+        title="2-layer dot-product attention GNN (simulated Tesla V100)",
+        floatfmt=".3f",
+    ))
+    base = results["stock kernels"].total_s
+    ours = results["HP kernels"].total_s
+    print(f"\nend-to-end speedup from both HP kernels: {base / ours:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

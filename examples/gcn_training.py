@@ -1,0 +1,67 @@
+"""End-to-end GCN training with and without HP-SpMM (paper Table V).
+
+Usage::
+
+    python examples/gcn_training.py [graph-name] [hidden] [layers]
+
+Trains the same GCN twice on a calibrated dataset — once with the
+framework's stock sparse kernel (cuSPARSE CSR ALG2) and once with
+HP-SpMM — and reports the loss curve (identical: the kernels are
+numerically equivalent) plus the simulated GPU time breakdown.
+"""
+
+import sys
+
+from repro.bench import render_table
+from repro.gnn import SyntheticTask, train_full_graph
+from repro.graphs import load_graph
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "arxiv"
+    hidden = int(sys.argv[2]) if len(sys.argv) > 2 else 64
+    layers = int(sys.argv[3]) if len(sys.argv) > 3 else 4
+
+    ds = load_graph(name, max_edges=400_000)
+    task = SyntheticTask.for_graph(ds.matrix, seed=0)
+    print(f"training {layers}-layer GCN (hidden={hidden}) on {ds.name}: "
+          f"{ds.num_nodes} nodes, {ds.num_edges} edges, "
+          f"{task.num_classes} classes\n")
+
+    reports = {}
+    for label, kernel in (
+        ("cuSPARSE (w/o HP-SpMM)", "cusparse-csr-alg2"),
+        ("HP-SpMM  (w/  HP-SpMM)", "hp-spmm"),
+    ):
+        reports[label] = train_full_graph(
+            ds.matrix, task, hidden=hidden, num_layers=layers, epochs=8,
+            spmm_kernel=kernel, seed=1,
+        )
+
+    rows = []
+    for label, rep in reports.items():
+        t = rep.timing
+        rows.append([
+            label,
+            rep.losses[0],
+            rep.final_loss,
+            t["total_s"] * 1e3,
+            t["sparse_s"] * 1e3,
+            t["dense_s"] * 1e3,
+            t["num_sparse_ops"],
+        ])
+    print(render_table(
+        ["configuration", "loss[0]", "loss[-1]", "GPU total (ms)",
+         "sparse (ms)", "dense (ms)", "#SpMM"],
+        rows,
+        title="Full-graph GCN training (simulated Tesla V100 time)",
+        floatfmt=".3f",
+    ))
+    base, ours = reports.values()
+    print(f"\nend-to-end speedup: "
+          f"{base.simulated_gpu_s / ours.simulated_gpu_s:.2f}x "
+          f"(paper Table V: up to 1.68x at hidden 32)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Kernel leaderboard: every SpMM implementation on one dataset.
+
+Usage::
+
+    python examples/kernel_comparison.py [graph-name] [K]
+
+Reproduces the per-graph view behind paper Fig. 9: all SpMM kernels on
+the chosen graph, simulated on both evaluation platforms (V100 / A30),
+with preprocessing cost and the dominant bottleneck of each.
+"""
+
+import sys
+
+from repro.bench import render_table
+from repro.gpusim import TESLA_A30, TESLA_V100
+from repro.graphs import load_graph
+from repro.kernels import SPMM_REGISTRY, make_spmm
+
+KERNELS = [n for n in sorted(SPMM_REGISTRY) if n != "tc-gnn"]
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "arxiv"
+    k = int(sys.argv[2]) if len(sys.argv) > 2 else 64
+    S = load_graph(name).matrix
+    flops = 2.0 * S.nnz * k
+
+    results = {
+        kname: {
+            device.name: make_spmm(kname).estimate(S, k, device)
+            for device in (TESLA_V100, TESLA_A30)
+        }
+        for kname in KERNELS
+    }
+    hp_v100 = results["hp-spmm"]["Tesla V100"].stats.time_s
+
+    rows = []
+    for kname, per_device in results.items():
+        v100 = per_device["Tesla V100"]
+        a30 = per_device["Tesla A30"]
+        rows.append([
+            kname,
+            v100.stats.time_us,
+            v100.stats.throughput_gflops(flops),
+            v100.stats.bound,
+            a30.stats.time_us,
+            a30.stats.bound,
+            v100.stats.time_s / hp_v100,
+            v100.preprocessing_s * 1e3,
+        ])
+    rows.sort(key=lambda r: r[1])
+
+    print(render_table(
+        ["kernel", "V100 (us)", "V100 GF/s", "V100 bound",
+         "A30 (us)", "A30 bound", "vs HP (x)", "pre (ms)"],
+        rows,
+        title=f"SpMM kernels on {name} (K={k}, nnz={S.nnz})",
+    ))
+
+
+if __name__ == "__main__":
+    main()

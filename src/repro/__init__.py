@@ -1,0 +1,63 @@
+"""repro — reproduction of "Fast Sparse GPU Kernels for Accelerated
+Training of Graph Neural Networks" (Fan, Wang, Chu — IPDPS 2023).
+
+The package implements HP-SpMM and HP-SDDMM with Dynamic Task Partition,
+Hierarchical Vectorized Memory Access and Graph Clustering based
+Reordering, together with every baseline kernel and substrate the paper's
+evaluation depends on, on top of a deterministic GPU execution-model
+simulator (see DESIGN.md).
+
+Quickstart::
+
+    import numpy as np
+    from repro import HPSpMM, HybridMatrix, TESLA_V100
+    from repro.graphs import load_graph
+
+    S = load_graph("flickr").matrix
+    A = np.random.default_rng(0).standard_normal((S.shape[1], 64), dtype=np.float32)
+    result = HPSpMM().run(S, A, device=TESLA_V100)
+    print(result.stats.time_ms, result.output.shape)
+"""
+
+from .formats import COOMatrix, CSRMatrix, HybridMatrix
+from .gpusim import (
+    RTX_3090,
+    TESLA_A30,
+    TESLA_V100,
+    DeviceSpec,
+    KernelStats,
+    get_device,
+)
+from .kernels import (
+    HPSDDMM,
+    HPSpMM,
+    SDDMMResult,
+    SpMMResult,
+    make_sddmm,
+    make_spmm,
+    sddmm_reference,
+    spmm_reference,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "COOMatrix",
+    "CSRMatrix",
+    "HybridMatrix",
+    "RTX_3090",
+    "TESLA_A30",
+    "TESLA_V100",
+    "DeviceSpec",
+    "KernelStats",
+    "get_device",
+    "HPSDDMM",
+    "HPSpMM",
+    "SDDMMResult",
+    "SpMMResult",
+    "make_sddmm",
+    "make_spmm",
+    "sddmm_reference",
+    "spmm_reference",
+    "__version__",
+]

@@ -1,0 +1,86 @@
+"""Benchmark harness: one runner per table/figure of the paper's
+evaluation (Section IV).  See DESIGN.md's experiment index."""
+
+from .fig9 import Fig9Result, run_fig9
+from .fig10 import Fig10Result, run_fig10
+from .fig11 import ABLATION_GRAPHS, Fig11Result, run_fig11
+from .fig12 import Fig12Result, run_fig12
+from .fig13 import Fig13Result, run_fig13
+from .reorder_eff import ReorderEffResult, run_reorder_efficiency
+from .runner import (
+    SDDMM_BASELINES,
+    SPMM_BASELINES,
+    KernelRun,
+    SweepResult,
+    results_dir,
+    sweep_sddmm,
+    sweep_spmm,
+    write_report,
+)
+from .ablations import AblationResult, run_design_ablations
+from .table2 import Table2Result, run_table2
+from .table3 import PAPER_TABLE3, Table3Result, run_table3
+from .table4 import TABLE4_GRAPHS, TABLE4_KERNELS, Table4Result, run_table4
+from .table5 import PAPER_TABLE5, TABLE5_CASES, Table5Result, run_table5
+from .tables import format_speedup, render_table
+from .tcgnn import TCGNNResult, run_tcgnn
+
+#: Experiment registry for the CLI: id -> (runner, default kwargs).
+EXPERIMENTS = {
+    "table2": run_table2,
+    "fig9": run_fig9,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+    "fig12": run_fig12,
+    "fig13": run_fig13,
+    "table3": run_table3,
+    "table4": run_table4,
+    "table5": run_table5,
+    "tcgnn": run_tcgnn,
+    "reorder": run_reorder_efficiency,
+    "ablations": run_design_ablations,
+}
+
+__all__ = [
+    "AblationResult",
+    "run_design_ablations",
+    "Table2Result",
+    "run_table2",
+    "Fig9Result",
+    "run_fig9",
+    "Fig10Result",
+    "run_fig10",
+    "ABLATION_GRAPHS",
+    "Fig11Result",
+    "run_fig11",
+    "Fig12Result",
+    "run_fig12",
+    "Fig13Result",
+    "run_fig13",
+    "ReorderEffResult",
+    "run_reorder_efficiency",
+    "SDDMM_BASELINES",
+    "SPMM_BASELINES",
+    "KernelRun",
+    "SweepResult",
+    "results_dir",
+    "sweep_sddmm",
+    "sweep_spmm",
+    "write_report",
+    "PAPER_TABLE3",
+    "Table3Result",
+    "run_table3",
+    "TABLE4_GRAPHS",
+    "TABLE4_KERNELS",
+    "Table4Result",
+    "run_table4",
+    "PAPER_TABLE5",
+    "TABLE5_CASES",
+    "Table5Result",
+    "run_table5",
+    "format_speedup",
+    "render_table",
+    "TCGNNResult",
+    "run_tcgnn",
+    "EXPERIMENTS",
+]

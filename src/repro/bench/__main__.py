@@ -1,0 +1,73 @@
+"""CLI: run paper experiments and write reports.
+
+Usage::
+
+    python -m repro.bench fig9 [--k 64] [--max-edges 1500000]
+    python -m repro.bench all
+    python -m repro.bench list
+
+Reports are printed and written under ``results/`` (override with
+REPRO_RESULTS_DIR).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import EXPERIMENTS, write_report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (fig9 fig10 fig11 fig12 fig13 table3 table4 "
+        "table5 tcgnn reorder), 'all', or 'list'",
+    )
+    parser.add_argument("--k", type=int, default=None, help="feature dimension")
+    parser.add_argument(
+        "--max-edges", type=int, default=None, help="edge cap for scaled graphs"
+    )
+    parser.add_argument(
+        "--subgraphs", type=int, default=None, help="sampling-dataset size (fig10/table3)"
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        if name not in EXPERIMENTS:
+            parser.error(
+                f"unknown experiment {name!r}; try 'list' for options"
+            )
+        runner = EXPERIMENTS[name]
+        kwargs = {}
+        if args.k is not None and name not in ("reorder", "table2"):
+            kwargs["k"] = args.k
+        if args.max_edges is not None and name != "fig12":
+            kwargs["max_edges"] = args.max_edges
+        if args.subgraphs is not None and name in ("fig10", "table3"):
+            kwargs["num_subgraphs"] = args.subgraphs
+        t0 = time.time()
+        result = runner(**kwargs)
+        if hasattr(result, "render"):
+            text = result.render()
+        else:
+            text = "\n\n".join(r.render() for r in result)
+        print(text)
+        path = write_report(name, text)
+        print(f"[{name} done in {time.time() - t0:.1f}s -> {path}]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,183 @@
+"""Design-choice ablations beyond the paper's Fig. 11.
+
+The paper fixes several constants (DTP's scale factor alpha, the block
+shape, the NnzPerWarp candidate set) without a published sensitivity
+study; Section II explicitly criticizes prior work for leaving "task
+partition granularity" unstudied.  These sweeps document how HP-SpMM's
+simulated performance depends on each choice:
+
+* ``sweep_nnz_per_warp`` — raw granularity sweep (the core trade-off:
+  small slices expose parallelism but amplify sparse reloads and
+  row-switch writes; large slices starve the device — the tail effect).
+* ``sweep_alpha`` — DTP's required-waves threshold (Ineq. 5's alpha).
+* ``sweep_warps_per_block`` — block shape (occupancy input of Eq. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpusim import DeviceSpec, TESLA_V100
+from ..graphs import load_graph
+from ..kernels import HPSpMM
+from ..tuning import CANDIDATE_NNZ_PER_WARP
+from .tables import render_table
+
+
+@dataclass
+class AblationResult:
+    """One parameter sweep: parameter values vs simulated times."""
+
+    name: str
+    graph: str
+    k: int
+    values: list
+    times_us: list[float]
+    chosen: object = None  #: the library default / DTP's own pick
+
+    def best(self):
+        return self.values[self.times_us.index(min(self.times_us))]
+
+    def regret(self) -> float:
+        """Slowdown of the chosen setting vs the sweep's best."""
+        if self.chosen is None or self.chosen not in self.values:
+            return float("nan")
+        t_chosen = self.times_us[self.values.index(self.chosen)]
+        return t_chosen / min(self.times_us)
+
+    def render(self) -> str:
+        rows = [
+            [v, t, "*" if v == self.chosen else ""]
+            for v, t in zip(self.values, self.times_us)
+        ]
+        return render_table(
+            [self.name, "time (us)", "chosen"],
+            rows,
+            title=f"Ablation: {self.name} on {self.graph} (K={self.k})",
+        )
+
+
+def sweep_nnz_per_warp(
+    graph: str = "arxiv",
+    *,
+    k: int = 64,
+    device: DeviceSpec = TESLA_V100,
+    candidates: tuple[int, ...] = CANDIDATE_NNZ_PER_WARP,
+    max_edges: int | None = None,
+) -> AblationResult:
+    """Granularity sweep; marks DTP's own pick."""
+    S = load_graph(graph, max_edges=max_edges).matrix
+    times = [
+        HPSpMM(nnz_per_warp=npw).estimate(S, k, device).stats.time_us
+        for npw in candidates
+    ]
+    chosen = HPSpMM().partition(S, k, device).nnz_per_warp
+    return AblationResult(
+        name="NnzPerWarp",
+        graph=graph,
+        k=k,
+        values=list(candidates),
+        times_us=times,
+        chosen=chosen,
+    )
+
+
+def sweep_alpha(
+    graph: str = "arxiv",
+    *,
+    k: int = 64,
+    device: DeviceSpec = TESLA_V100,
+    alphas: tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0),
+    max_edges: int | None = None,
+) -> AblationResult:
+    """DTP scale-factor sweep (Ineq. 5's alpha; library default 4)."""
+    S = load_graph(graph, max_edges=max_edges).matrix
+    times = [
+        HPSpMM(alpha=a).estimate(S, k, device).stats.time_us for a in alphas
+    ]
+    return AblationResult(
+        name="alpha",
+        graph=graph,
+        k=k,
+        values=list(alphas),
+        times_us=times,
+        chosen=4.0,
+    )
+
+
+def sweep_warps_per_block(
+    graph: str = "arxiv",
+    *,
+    k: int = 64,
+    device: DeviceSpec = TESLA_V100,
+    shapes: tuple[int, ...] = (2, 4, 8, 16),
+    max_edges: int | None = None,
+) -> AblationResult:
+    """Block-shape sweep (occupancy input of Eq. 3; library default 8)."""
+    S = load_graph(graph, max_edges=max_edges).matrix
+    times = [
+        HPSpMM(warps_per_block=w).estimate(S, k, device).stats.time_us
+        for w in shapes
+    ]
+    return AblationResult(
+        name="WarpsPerBlock",
+        graph=graph,
+        k=k,
+        values=list(shapes),
+        times_us=times,
+        chosen=8,
+    )
+
+
+def sweep_l2_capacity(
+    graph: str = "yelp",
+    *,
+    k: int = 128,
+    device: DeviceSpec = TESLA_V100,
+    capacities_mb: tuple[float, ...] = (1.5, 3.0, 6.0, 12.0, 24.0, 48.0),
+    max_edges: int | None = None,
+) -> AblationResult:
+    """What-if L2 sizes: where does GCR's locality benefit come from?
+
+    Reports the GCR speedup (reordered vs original HP-SpMM time) at each
+    hypothetical L2 capacity.  The benefit vanishes once the operand
+    footprint fits in cache — the same mechanism that makes GCR useless
+    on DDI in paper Fig. 11.
+    """
+    from ..reorder import GCRReorderer
+
+    S = load_graph(graph, max_edges=max_edges).matrix
+    reordered = GCRReorderer().apply(S).matrix
+    hp = HPSpMM()
+    gains = []
+    for mb in capacities_mb:
+        dev = device.with_(l2_cache_bytes=int(mb * 1024 * 1024))
+        t0 = hp.estimate(S, k, dev).stats.time_us
+        t1 = hp.estimate(reordered, k, dev).stats.time_us
+        gains.append(t0 / t1)
+    return AblationResult(
+        name="L2 capacity (MB) -> GCR speedup",
+        graph=graph,
+        k=k,
+        values=list(capacities_mb),
+        times_us=gains,  # interpreted as speedups by the caller
+        chosen=device.l2_cache_bytes / 1024 / 1024,
+    )
+
+
+def run_design_ablations(
+    *,
+    graphs: tuple[str, ...] = ("arxiv", "ddi"),
+    k: int = 64,
+    device: DeviceSpec = TESLA_V100,
+    max_edges: int | None = None,
+) -> list[AblationResult]:
+    """All three sweeps over the requested graphs."""
+    out: list[AblationResult] = []
+    for g in graphs:
+        out.append(sweep_nnz_per_warp(g, k=k, device=device, max_edges=max_edges))
+        out.append(sweep_alpha(g, k=k, device=device, max_edges=max_edges))
+        out.append(
+            sweep_warps_per_block(g, k=k, device=device, max_edges=max_edges)
+        )
+    return out

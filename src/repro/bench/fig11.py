@@ -1,0 +1,90 @@
+"""Fig. 11 — ablation study of DTP, HVMA and GCR.
+
+Four representative graphs (Yelp, AM, DDI, PPA), five configurations:
+
+* ``base``          — hybrid parallel only (naive NnzPerWarp, scalar)
+* ``+dtp``          — Dynamic Task Partition
+* ``+hvma``         — vectorized/aligned accesses (naive granularity)
+* ``+dtp+hvma``     — both
+* ``+dtp+hvma+gcr`` — plus Graph Clustering based Reordering
+
+Expected shape (paper Fig. 11): DTP and HVMA are robust on all graphs;
+GCR alone gains little; combined, GCR adds ~40% on Yelp/PPA but <10% on
+AM/DDI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpusim import DeviceSpec, TESLA_V100
+from ..graphs import load_graph
+from ..kernels import HPSpMM
+from ..reorder import GCRReorderer
+from .tables import render_table
+
+#: The four representative graphs of paper Fig. 11.
+ABLATION_GRAPHS: tuple[str, ...] = ("yelp", "am", "ddi", "ppa")
+
+CONFIGS: tuple[str, ...] = ("base", "+dtp", "+hvma", "+dtp+hvma", "+dtp+hvma+gcr")
+
+
+@dataclass
+class Fig11Result:
+    """Normalized throughput (base = 1.0) per configuration per graph."""
+
+    graphs: list[str]
+    times_ms: dict[str, dict[str, float]]  #: graph -> config -> ms
+
+    def speedup(self, graph: str, config: str) -> float:
+        return self.times_ms[graph]["base"] / self.times_ms[graph][config]
+
+    def gcr_gain(self, graph: str) -> float:
+        """Relative improvement of adding GCR on top of DTP+HVMA."""
+        return (
+            self.times_ms[graph]["+dtp+hvma"]
+            / self.times_ms[graph]["+dtp+hvma+gcr"]
+            - 1.0
+        )
+
+    def render(self) -> str:
+        rows = []
+        for g in self.graphs:
+            rows.append(
+                [g]
+                + [self.speedup(g, c) for c in CONFIGS]
+                + [100.0 * self.gcr_gain(g)]
+            )
+        return render_table(
+            ["graph"] + [f"{c} (x)" for c in CONFIGS] + ["GCR gain %"],
+            rows,
+            title="Fig. 11 — ablation of DTP / HVMA / GCR (speedup over base)",
+        )
+
+
+def run_fig11(
+    *,
+    k: int = 128,
+    device: DeviceSpec = TESLA_V100,
+    graphs: tuple[str, ...] = ABLATION_GRAPHS,
+    max_edges: int | None = None,
+) -> Fig11Result:
+    """Run the ablation experiment."""
+    kernels = {
+        "base": HPSpMM(use_dtp=False, use_hvma=False),
+        "+dtp": HPSpMM(use_dtp=True, use_hvma=False),
+        "+hvma": HPSpMM(use_dtp=False, use_hvma=True),
+        "+dtp+hvma": HPSpMM(use_dtp=True, use_hvma=True),
+    }
+    times: dict[str, dict[str, float]] = {}
+    for gname in graphs:
+        S = load_graph(gname, max_edges=max_edges).matrix
+        row: dict[str, float] = {}
+        for cname, kern in kernels.items():
+            row[cname] = kern.estimate(S, k, device).stats.time_ms
+        reordered = GCRReorderer().apply(S).matrix
+        row["+dtp+hvma+gcr"] = (
+            kernels["+dtp+hvma"].estimate(reordered, k, device).stats.time_ms
+        )
+        times[gname] = row
+    return Fig11Result(graphs=list(graphs), times_ms=times)

@@ -1,0 +1,71 @@
+"""Fig. 12 — sensitivity to node-degree variance.
+
+Ten graphs with the same mean degree (21-25 in the paper) and ascending
+degree standard deviation; the y-axis is HP-SpMM's speedup over GE-SpMM
+(node-parallel, so variance hurts it).  The paper reports Pearson's
+r = 0.90 between degree std-dev and speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpusim import DeviceSpec, TESLA_V100
+from ..graphs import pearson_r, variance_suite
+from ..kernels import make_spmm
+from .tables import render_table
+
+
+@dataclass
+class Fig12Result:
+    """(degree std-dev, speedup) series plus the correlation."""
+
+    stds: list[float]
+    speedups: list[float]
+    pearson: float
+    mean_degrees: list[float]
+
+    def render(self) -> str:
+        rows = [
+            [i + 1, self.mean_degrees[i], self.stds[i], self.speedups[i]]
+            for i in range(len(self.stds))
+        ]
+        table = render_table(
+            ["graph #", "mean degree", "degree std", "speedup over GE-SpMM (x)"],
+            rows,
+            title="Fig. 12 — speedup vs node-degree standard deviation",
+        )
+        return table + f"\nPearson's r = {self.pearson:.3f} (paper: 0.90)"
+
+
+def run_fig12(
+    *,
+    k: int = 64,
+    device: DeviceSpec = TESLA_V100,
+    num_graphs: int = 10,
+    num_nodes: int = 20_000,
+    mean_degree: float = 23.0,
+    seed: int = 7,
+) -> Fig12Result:
+    """Run the degree-variance sensitivity experiment."""
+    hp = make_spmm("hp-spmm")
+    ge = make_spmm("ge-spmm")
+    suite = variance_suite(
+        num_graphs=num_graphs,
+        num_nodes=num_nodes,
+        mean_degree=mean_degree,
+        seed=seed,
+    )
+    stds, speedups, means = [], [], []
+    for graph, st in suite:
+        t_hp = hp.estimate(graph, k, device).stats.time_s
+        t_ge = ge.estimate(graph, k, device).stats.time_s
+        stds.append(st.std)
+        means.append(st.mean)
+        speedups.append(t_ge / t_hp)
+    return Fig12Result(
+        stds=stds,
+        speedups=speedups,
+        pearson=pearson_r(stds, speedups),
+        mean_degrees=means,
+    )

@@ -1,0 +1,73 @@
+"""Fig. 13 — sensitivity to the feature dimension K (Flickr).
+
+HP-SpMM's throughput stays roughly flat as K grows, while cuSPARSE and
+GE-SpMM amortize their per-nonzero overheads and improve — so the
+relative speedup shrinks with K.  This is the effect that also caps the
+end-to-end gains at large hidden sizes in Table V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpusim import DeviceSpec, TESLA_V100
+from ..graphs import load_graph
+from ..kernels import make_spmm
+from .tables import render_table
+
+DEFAULT_KS: tuple[int, ...] = (16, 32, 64, 128, 256, 512)
+
+
+@dataclass
+class Fig13Result:
+    """Throughput (GFLOP/s) per kernel per K."""
+
+    graph: str
+    ks: list[int]
+    gflops: dict[str, list[float]]  #: kernel -> series over ks
+
+    def speedup_series(self, baseline: str) -> list[float]:
+        ours = self.gflops["hp-spmm"]
+        theirs = self.gflops[baseline]
+        return [o / b for o, b in zip(ours, theirs)]
+
+    def render(self) -> str:
+        kernels = list(self.gflops)
+        rows = []
+        for i, k in enumerate(self.ks):
+            rows.append([k] + [self.gflops[name][i] for name in kernels])
+        table = render_table(
+            ["K"] + [f"{n} (GFLOP/s)" for n in kernels],
+            rows,
+            title=f"Fig. 13 — throughput vs K on {self.graph}",
+            floatfmt=".1f",
+        )
+        lines = [table]
+        for b in kernels:
+            if b == "hp-spmm":
+                continue
+            s = self.speedup_series(b)
+            lines.append(
+                f"speedup over {b}: "
+                + " -> ".join(f"{x:.2f}x" for x in s)
+            )
+        return "\n".join(lines)
+
+
+def run_fig13(
+    *,
+    graph: str = "flickr",
+    ks: tuple[int, ...] = DEFAULT_KS,
+    device: DeviceSpec = TESLA_V100,
+    kernels: tuple[str, ...] = ("hp-spmm", "cusparse-csr-alg2", "ge-spmm"),
+    max_edges: int | None = None,
+) -> Fig13Result:
+    """Run the K-sensitivity experiment."""
+    S = load_graph(graph, max_edges=max_edges).matrix
+    gflops: dict[str, list[float]] = {name: [] for name in kernels}
+    for k in ks:
+        flops = 2.0 * S.nnz * k
+        for name in kernels:
+            stats = make_spmm(name).estimate(S, k, device).stats
+            gflops[name].append(stats.throughput_gflops(flops))
+    return Fig13Result(graph=graph, ks=list(ks), gflops=gflops)

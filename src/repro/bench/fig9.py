@@ -1,0 +1,81 @@
+"""Fig. 9 — kernel performance on the full-graph dataset (V100, K=64).
+
+Regenerates the per-graph SpMM and SDDMM comparison over the 19 Table II
+graphs: throughput of HP kernels and every baseline, plus per-graph
+speedups.  Section IV-B1 also evaluates K = 32 and 128; pass ``k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpusim import DeviceSpec, TESLA_V100
+from ..graphs import FULL_GRAPH_ORDER, load_graph
+from .runner import (
+    SDDMM_BASELINES,
+    SPMM_BASELINES,
+    SweepResult,
+    sweep_sddmm,
+    sweep_spmm,
+)
+from .tables import render_table
+
+
+@dataclass
+class Fig9Result:
+    """Per-graph kernel comparison on the full-graph dataset."""
+
+    spmm: SweepResult
+    sddmm: SweepResult
+    graphs: list[str]
+    k: int
+    device: str
+
+    def render(self) -> str:
+        headers = ["graph", "hp-spmm (us)"] + [
+            f"{b} (x)" for b in SPMM_BASELINES
+        ] + ["hp-sddmm (us)"] + [f"{b} (x)" for b in SDDMM_BASELINES]
+        t_hp = self.spmm.times("hp-spmm")
+        t_hps = self.sddmm.times("hp-sddmm")
+        rows = []
+        for g in self.graphs:
+            row = [g, t_hp[g] * 1e6]
+            for b in SPMM_BASELINES:
+                row.append(self.spmm.times(b)[g] / t_hp[g])
+            row.append(t_hps[g] * 1e6)
+            for b in SDDMM_BASELINES:
+                row.append(self.sddmm.times(b)[g] / t_hps[g])
+            rows.append(row)
+        return render_table(
+            headers,
+            rows,
+            title=(
+                f"Fig. 9 — sparse kernels, full-graph dataset "
+                f"({self.device}, K={self.k}); columns are speedup of HP "
+                f"over each baseline"
+            ),
+        )
+
+
+def run_fig9(
+    *,
+    k: int = 64,
+    device: DeviceSpec = TESLA_V100,
+    graphs: tuple[str, ...] = FULL_GRAPH_ORDER,
+    max_edges: int | None = None,
+) -> Fig9Result:
+    """Run the Fig. 9 experiment."""
+    named = [
+        (name, load_graph(name, max_edges=max_edges).matrix) for name in graphs
+    ]
+    spmm = sweep_spmm(named, ("hp-spmm",) + SPMM_BASELINES, k=k, device=device)
+    sddmm = sweep_sddmm(
+        named, ("hp-sddmm",) + SDDMM_BASELINES, k=k, device=device
+    )
+    return Fig9Result(
+        spmm=spmm,
+        sddmm=sddmm,
+        graphs=list(graphs),
+        k=k,
+        device=device.name,
+    )

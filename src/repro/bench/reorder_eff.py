@@ -1,0 +1,91 @@
+"""Section IV-D — reordering-technique efficiency comparison.
+
+The paper reports, for the `proteins` dataset: GCR 4.6 s, the
+LSH/Jaccard method of [35] 15.56 s, and the pair-merging method of [11]
+over 120 minutes.  Here all three run in the same NumPy substrate, so
+their wall-clock *ratio* is meaningful; pair merging's quadratic cost is
+measured on a node-subsample and extrapolated when the full run would
+exceed ``pairmerge_budget_s``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..formats import HybridMatrix
+from ..graphs import induced_subgraph, load_graph
+from ..reorder import GCRReorderer, LSHReorderer, PairMergeReorderer
+from .tables import render_table
+
+
+@dataclass
+class ReorderEffResult:
+    """Wall-clock (seconds) of each reordering technique."""
+
+    graph: str
+    gcr_s: float
+    lsh_s: float
+    pairmerge_s: float
+    pairmerge_extrapolated: bool
+
+    def render(self) -> str:
+        pm = f"{self.pairmerge_s:.2f}"
+        if self.pairmerge_extrapolated:
+            pm = f">= {pm} (extrapolated)"
+        return render_table(
+            ["graph", "GCR (ours)", "LSH/Jaccard [35]", "pair-merge [11]"],
+            [[self.graph, f"{self.gcr_s:.2f}", f"{self.lsh_s:.2f}", pm]],
+            title=(
+                "Section IV-D — reordering efficiency in seconds "
+                "(paper, full-size proteins: 4.6 / 15.56 / >7200)"
+            ),
+        )
+
+
+def estimate_pairmerge_s(
+    S: HybridMatrix, *, budget_s: float = 30.0, probe_nodes: int = 400
+) -> tuple[float, bool]:
+    """Measure pair merging, extrapolating quadratically when too slow.
+
+    Runs the full algorithm when the probe predicts it fits in
+    ``budget_s``; otherwise measures a ``probe_nodes`` induced subgraph
+    and scales by ``(N / probe)^2`` (the algorithm's pair-comparison
+    count is quadratic in nodes).
+    """
+    n = S.shape[0]
+    probe_nodes = min(probe_nodes, n)
+    rng = np.random.default_rng(0)
+    nodes = rng.choice(n, size=probe_nodes, replace=False)
+    probe = induced_subgraph(S, nodes)
+    t0 = time.perf_counter()
+    PairMergeReorderer().permutation(probe)
+    probe_s = time.perf_counter() - t0
+    predicted = probe_s * (n / probe_nodes) ** 2
+    if predicted <= budget_s:
+        t0 = time.perf_counter()
+        PairMergeReorderer().permutation(S)
+        return time.perf_counter() - t0, False
+    return predicted, True
+
+
+def run_reorder_efficiency(
+    *,
+    graph: str = "proteins",
+    max_edges: int | None = None,
+    pairmerge_budget_s: float = 30.0,
+) -> ReorderEffResult:
+    """Run the reordering-efficiency comparison."""
+    S = load_graph(graph, max_edges=max_edges).matrix
+    gcr = GCRReorderer().apply(S)
+    lsh = LSHReorderer().apply(S)
+    pm_s, extrapolated = estimate_pairmerge_s(S, budget_s=pairmerge_budget_s)
+    return ReorderEffResult(
+        graph=graph,
+        gcr_s=gcr.elapsed_s,
+        lsh_s=lsh.elapsed_s,
+        pairmerge_s=pm_s,
+        pairmerge_extrapolated=extrapolated,
+    )

@@ -1,0 +1,141 @@
+"""Shared experiment machinery: kernel sweeps and speedup aggregation.
+
+Conventions follow the paper's Section IV-A: times are kernel execution
+only (format conversion excluded; hybrid CSR/COO needs none), speedups
+are averaged per-graph ratios against HP kernels, and the "percentage"
+column is the fraction of graphs on which the HP kernel is faster.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..formats import HybridMatrix
+from ..gpusim import DeviceSpec, TESLA_V100
+from ..kernels import make_sddmm, make_spmm
+
+#: Paper kernel display names for the standard comparison sets.
+SPMM_BASELINES: tuple[str, ...] = (
+    "cusparse-csr-alg2",
+    "cusparse-csr-alg3",
+    "cusparse-coo-alg4",
+    "ge-spmm",
+    "row-split",
+)
+SDDMM_BASELINES: tuple[str, ...] = ("dgl-sddmm", "cusparse-csr-sddmm")
+
+
+@dataclass(frozen=True)
+class KernelRun:
+    """One kernel on one graph."""
+
+    graph: str
+    kernel: str
+    time_s: float
+    preprocessing_s: float
+    gflops: float
+
+    @property
+    def time_us(self) -> float:
+        return self.time_s * 1e6
+
+
+@dataclass
+class SweepResult:
+    """All kernels over all graphs of one dataset."""
+
+    device: str
+    k: int
+    runs: list[KernelRun] = field(default_factory=list)
+
+    def times(self, kernel: str) -> dict[str, float]:
+        return {r.graph: r.time_s for r in self.runs if r.kernel == kernel}
+
+    def speedups_vs(self, ours: str, baseline: str) -> np.ndarray:
+        """Per-graph ratio baseline_time / our_time (aligned by graph)."""
+        t_ours = self.times(ours)
+        t_base = self.times(baseline)
+        graphs = [g for g in t_ours if g in t_base]
+        return np.array([t_base[g] / t_ours[g] for g in graphs])
+
+    def summary_vs(self, ours: str, baseline: str) -> tuple[float, float]:
+        """(average speedup, win percentage) — the Table III columns."""
+        s = self.speedups_vs(ours, baseline)
+        if s.size == 0:
+            return float("nan"), float("nan")
+        return float(s.mean()), float(100.0 * np.mean(s > 1.0))
+
+
+def sweep_spmm(
+    graphs: list[tuple[str, HybridMatrix]],
+    kernels: tuple[str, ...],
+    *,
+    k: int = 64,
+    device: DeviceSpec = TESLA_V100,
+) -> SweepResult:
+    """Timing-only SpMM sweep of ``kernels`` over named graphs."""
+    out = SweepResult(device=device.name, k=k)
+    instances = {name: make_spmm(name) for name in kernels}
+    for gname, S in graphs:
+        flops = 2.0 * S.nnz * k
+        for kname, kern in instances.items():
+            res = kern.estimate(S, k, device)
+            out.runs.append(
+                KernelRun(
+                    graph=gname,
+                    kernel=kname,
+                    time_s=res.stats.time_s,
+                    preprocessing_s=res.preprocessing_s,
+                    gflops=res.stats.throughput_gflops(flops) / 1.0,
+                )
+            )
+    return out
+
+
+def sweep_sddmm(
+    graphs: list[tuple[str, HybridMatrix]],
+    kernels: tuple[str, ...],
+    *,
+    k: int = 64,
+    device: DeviceSpec = TESLA_V100,
+) -> SweepResult:
+    """Timing-only SDDMM sweep of ``kernels`` over named graphs."""
+    out = SweepResult(device=device.name, k=k)
+    instances = {name: make_sddmm(name) for name in kernels}
+    for gname, S in graphs:
+        flops = 2.0 * S.nnz * k
+        for kname, kern in instances.items():
+            res = kern.estimate(S, k, device)
+            out.runs.append(
+                KernelRun(
+                    graph=gname,
+                    kernel=kname,
+                    time_s=res.stats.time_s,
+                    preprocessing_s=res.preprocessing_s,
+                    gflops=res.stats.throughput_gflops(flops),
+                )
+            )
+    return out
+
+
+def results_dir() -> str:
+    """Directory where experiment reports are written."""
+    base = os.environ.get("REPRO_RESULTS_DIR") or os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))
+        ))),
+        "results",
+    )
+    os.makedirs(base, exist_ok=True)
+    return base
+
+
+def write_report(experiment_id: str, text: str) -> str:
+    """Persist a rendered experiment report; returns the path."""
+    path = os.path.join(results_dir(), f"{experiment_id}.txt")
+    with open(path, "w") as f:
+        f.write(text + "\n")
+    return path

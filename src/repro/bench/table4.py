@@ -1,0 +1,89 @@
+"""Table IV — preprocessing vs execution time of preprocess-based kernels.
+
+Runs ASpT, Sputnik, Merge-path and Huang's neighbor grouping against
+HP-SpMM on CoraFull, AM and Amazon (Tesla A30 in the paper) and reports
+preprocessing (Pre.) and execution (Exe.) times.  The headline shape:
+preprocessing dwarfs execution for ASpT / Sputnik / Huang (up to ~43x in
+the paper), merge-path's binary search is cheap, and HP-SpMM needs no
+preprocessing while staying competitive or faster on execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpusim import DeviceSpec, TESLA_A30
+from ..graphs import load_graph
+from ..kernels import make_spmm
+from .tables import render_table
+
+#: Kernels of paper Table IV, in column order.
+TABLE4_KERNELS: tuple[str, ...] = (
+    "aspt",
+    "sputnik",
+    "merge-path",
+    "huang-ng",
+    "hp-spmm",
+)
+
+#: The three graphs of paper Table IV (small / medium / large).
+TABLE4_GRAPHS: tuple[str, ...] = ("corafull", "am", "amazon")
+
+
+@dataclass
+class Table4Result:
+    """Pre./Exe. time per kernel per graph, in milliseconds."""
+
+    rows: list[list]
+    k: int
+    device: str
+
+    def render(self) -> str:
+        headers = ["graph"]
+        for kname in TABLE4_KERNELS:
+            if kname != "hp-spmm":
+                headers.append(f"{kname} Pre.")
+            headers.append(f"{kname} Exe.")
+        return render_table(
+            headers,
+            self.rows,
+            title=(
+                f"Table IV — preprocessing vs execution (ms) on {self.device},"
+                f" K={self.k}; HP-SpMM (ours) needs no preprocessing"
+            ),
+            floatfmt=".3f",
+        )
+
+    def entry(self, graph: str, kernel: str, which: str) -> float:
+        """Look up a cell: which in {'pre', 'exe'}."""
+        headers = ["graph"]
+        for kname in TABLE4_KERNELS:
+            if kname != "hp-spmm":
+                headers.append((kname, "pre"))
+            headers.append((kname, "exe"))
+        idx = headers.index((kernel, which))
+        for row in self.rows:
+            if row[0] == graph:
+                return row[idx]
+        raise KeyError(graph)
+
+
+def run_table4(
+    *,
+    k: int = 64,
+    device: DeviceSpec = TESLA_A30,
+    graphs: tuple[str, ...] = TABLE4_GRAPHS,
+    max_edges: int | None = None,
+) -> Table4Result:
+    """Run the Table IV experiment (no GCR, per the paper)."""
+    rows: list[list] = []
+    for gname in graphs:
+        S = load_graph(gname, max_edges=max_edges).matrix
+        row: list = [gname]
+        for kname in TABLE4_KERNELS:
+            res = make_spmm(kname).estimate(S, k, device)
+            if kname != "hp-spmm":
+                row.append(res.preprocessing_s * 1e3)
+            row.append(res.stats.time_s * 1e3)
+        rows.append(row)
+    return Table4Result(rows=rows, k=k, device=device.name)

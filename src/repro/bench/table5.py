@@ -1,0 +1,133 @@
+"""Table V — end-to-end GNN training speedups.
+
+Four model/dataset/mode combinations, three hidden sizes each:
+
+* DGL-mode:  8-layer GCN on arxiv (full-graph),
+             4-layer GraphSAINT on Amazon (graph-sampling);
+* PyG-mode:  4-layer GCN on Flickr (full-graph),
+             3-layer GraphSAINT on Yelp (graph-sampling).
+
+"w/o HP-SpMM" uses the framework's stock sparse kernel (DGL ships
+cuSPARSE's ALG2; PyG's SparseTensor mode uses torch-sparse's balanced
+CSR kernel with an extra index indirection, modeled by the ALG3-class
+profile); "w/ HP-SpMM" swaps in ours.  The expected shape: speedups up
+to ~1.7x at hidden 32, shrinking as the hidden size grows (Section
+IV-F's K-sensitivity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpusim import DeviceSpec, TESLA_V100
+from ..graphs import load_graph
+from ..gnn import SyntheticTask, train_full_graph, train_graph_sampling
+from .tables import render_table
+
+#: (framework, model, dataset, mode, layers, baseline kernel)
+TABLE5_CASES: tuple[tuple, ...] = (
+    ("dgl", "gcn", "arxiv", "full-graph", 8, "cusparse-csr-alg2"),
+    ("dgl", "graphsaint", "amazon", "graph-sampling", 4, "cusparse-csr-alg2"),
+    ("pyg", "gcn", "flickr", "full-graph", 4, "cusparse-csr-alg3"),
+    ("pyg", "graphsaint", "yelp", "graph-sampling", 3, "cusparse-csr-alg3"),
+)
+
+#: Published Table V speedups, keyed by (framework, model, hidden).
+PAPER_TABLE5 = {
+    ("dgl", "gcn", 32): 1.68,
+    ("dgl", "gcn", 128): 1.27,
+    ("dgl", "gcn", 256): 1.20,
+    ("dgl", "graphsaint", 32): 1.25,
+    ("dgl", "graphsaint", 128): 1.12,
+    ("dgl", "graphsaint", 256): 1.07,
+    ("pyg", "gcn", 32): 1.68,
+    ("pyg", "gcn", 128): 1.45,
+    ("pyg", "gcn", 256): 1.30,
+    ("pyg", "graphsaint", 32): 1.72,
+    ("pyg", "graphsaint", 128): 1.49,
+    ("pyg", "graphsaint", 256): 1.31,
+}
+
+
+@dataclass
+class Table5Result:
+    """Measured vs paper end-to-end training speedups."""
+
+    rows: list[list]
+
+    def render(self) -> str:
+        return render_table(
+            [
+                "framework",
+                "model/dataset/mode",
+                "hidden",
+                "w/o HP (ms)",
+                "w/ HP (ms)",
+                "speedup",
+                "paper",
+            ],
+            self.rows,
+            title="Table V — end-to-end GNN training (simulated GPU time)",
+        )
+
+    def speedup(self, framework: str, model: str, hidden: int) -> float:
+        for row in self.rows:
+            if row[0] == framework and row[1].startswith(model) and row[2] == hidden:
+                return row[5]
+        raise KeyError((framework, model, hidden))
+
+
+def run_table5(
+    *,
+    hiddens: tuple[int, ...] = (32, 128, 256),
+    epochs: int = 3,
+    device: DeviceSpec = TESLA_V100,
+    max_edges: int | None = 400_000,
+    node_budget: int = 12_000,
+    seed: int = 0,
+) -> Table5Result:
+    """Run the end-to-end training comparison."""
+    rows: list[list] = []
+    for framework, model, dataset, mode, layers, baseline in TABLE5_CASES:
+        ds = load_graph(dataset, max_edges=max_edges)
+        task = SyntheticTask.for_graph(ds.matrix, seed=seed)
+        for hidden in hiddens:
+            times = {}
+            for label, kern in (("without", baseline), ("with", "hp-spmm")):
+                if mode == "full-graph":
+                    rep = train_full_graph(
+                        ds.matrix,
+                        task,
+                        hidden=hidden,
+                        num_layers=layers,
+                        epochs=epochs,
+                        device=device,
+                        spmm_kernel=kern,
+                        seed=seed,
+                    )
+                else:
+                    rep = train_graph_sampling(
+                        ds.matrix,
+                        task,
+                        hidden=hidden,
+                        num_layers=layers,
+                        iterations=epochs,
+                        node_budget=node_budget,
+                        device=device,
+                        spmm_kernel=kern,
+                        seed=seed,
+                    )
+                times[label] = rep.simulated_gpu_s
+            speedup = times["without"] / times["with"]
+            rows.append(
+                [
+                    framework,
+                    f"{model}/{dataset}/{mode}",
+                    hidden,
+                    times["without"] * 1e3,
+                    times["with"] * 1e3,
+                    speedup,
+                    PAPER_TABLE5.get((framework, model, hidden), "-"),
+                ]
+            )
+    return Table5Result(rows=rows)

@@ -1,0 +1,81 @@
+"""Common machinery for sparse-matrix storage formats.
+
+The paper (Section II, Fig. 2) works with three storage formats for the
+graph adjacency matrix: CSR, COO and the *hybrid CSR/COO* format used by
+GNN frameworks (CSR's compressed row pointer decoded into a full row-index
+array, with column indices still sorted in row-major order).  This module
+holds the shared dtype conventions and validation helpers used by all
+format classes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Index dtype used across the library.  The paper uses 32-bit indices on
+#: the GPU; int32 also halves index-traffic in the memory model.
+INDEX_DTYPE = np.int32
+
+#: Value dtype.  All paper experiments run in FP32.
+VALUE_DTYPE = np.float32
+
+
+class SparseFormatError(ValueError):
+    """Raised when arrays passed to a sparse format constructor are invalid."""
+
+
+def as_index_array(a, name: str) -> np.ndarray:
+    """Coerce ``a`` to a 1-D contiguous :data:`INDEX_DTYPE` array.
+
+    Raises :class:`SparseFormatError` if the input is not 1-D or contains
+    values that cannot be represented losslessly.
+    """
+    arr = np.ascontiguousarray(a)
+    if arr.ndim != 1:
+        raise SparseFormatError(f"{name} must be 1-D, got shape {arr.shape}")
+    if arr.size and not np.issubdtype(arr.dtype, np.integer):
+        if not np.all(arr == np.trunc(arr)):
+            raise SparseFormatError(f"{name} must contain integers")
+    out = arr.astype(INDEX_DTYPE, copy=False)
+    if arr.size and np.any(out.astype(np.int64) != np.asarray(arr, dtype=np.int64)):
+        raise SparseFormatError(f"{name} overflows {INDEX_DTYPE}")
+    return out
+
+
+def as_value_array(a, name: str, n: int) -> np.ndarray:
+    """Coerce ``a`` to a 1-D contiguous FP32 array of length ``n``.
+
+    ``None`` yields an all-ones array (unweighted adjacency matrix).
+    """
+    if a is None:
+        return np.ones(n, dtype=VALUE_DTYPE)
+    arr = np.ascontiguousarray(a, dtype=VALUE_DTYPE)
+    if arr.ndim != 1:
+        raise SparseFormatError(f"{name} must be 1-D, got shape {arr.shape}")
+    if arr.size != n:
+        raise SparseFormatError(f"{name} has {arr.size} entries, expected {n}")
+    return arr
+
+
+def check_bounds(ind: np.ndarray, upper: int, name: str) -> None:
+    """Validate that every index in ``ind`` lies in ``[0, upper)``."""
+    if ind.size == 0:
+        return
+    lo = int(ind.min())
+    hi = int(ind.max())
+    if lo < 0 or hi >= upper:
+        raise SparseFormatError(
+            f"{name} out of bounds: range [{lo}, {hi}] not within [0, {upper})"
+        )
+
+
+def check_shape(shape) -> tuple[int, int]:
+    """Validate and normalize a 2-D matrix ``shape`` tuple."""
+    try:
+        m, n = shape
+    except (TypeError, ValueError) as exc:
+        raise SparseFormatError(f"shape must be a pair, got {shape!r}") from exc
+    m, n = int(m), int(n)
+    if m < 0 or n < 0:
+        raise SparseFormatError(f"shape must be non-negative, got {shape!r}")
+    return m, n

@@ -1,0 +1,130 @@
+"""COO (coordinate) sparse-matrix format (paper Fig. 2(c)).
+
+COO stores three parallel arrays ``RowInd``, ``ColInd`` and ``Value``.  It
+is the simplest format and the one cuSPARSE's ALG4 SpMM consumes.  Entries
+are *not* required to be sorted; :meth:`COOMatrix.sorted_by_row` produces
+the row-major ordering needed by the hybrid CSR/COO format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from .base import (
+    SparseFormatError,
+    as_index_array,
+    as_value_array,
+    check_bounds,
+    check_shape,
+)
+
+
+@dataclass(frozen=True)
+class COOMatrix:
+    """An ``M x N`` sparse matrix in coordinate format.
+
+    Attributes
+    ----------
+    row, col : int32 arrays of length ``nnz``
+        Row / column index of each stored element.
+    val : float32 array of length ``nnz``
+        Stored values.
+    shape : (int, int)
+        Dense shape ``(M, N)``.
+    """
+
+    row: np.ndarray
+    col: np.ndarray
+    val: np.ndarray
+    shape: tuple[int, int]
+
+    @classmethod
+    def from_arrays(cls, row, col, val=None, *, shape=None) -> "COOMatrix":
+        """Build a validated :class:`COOMatrix` from index/value arrays."""
+        r = as_index_array(row, "row")
+        c = as_index_array(col, "col")
+        if r.size != c.size:
+            raise SparseFormatError(
+                f"row ({r.size}) and col ({c.size}) lengths differ"
+            )
+        v = as_value_array(val, "val", r.size)
+        if shape is None:
+            m = int(r.max()) + 1 if r.size else 0
+            n = int(c.max()) + 1 if c.size else 0
+            shape = (m, n)
+        m, n = check_shape(shape)
+        check_bounds(r, m, "row")
+        check_bounds(c, n, "col")
+        return cls(row=r, col=c, val=v, shape=(m, n))
+
+    @classmethod
+    def from_scipy(cls, mat) -> "COOMatrix":
+        """Convert any scipy sparse matrix to :class:`COOMatrix`."""
+        m = sp.coo_matrix(mat)
+        return cls.from_arrays(m.row, m.col, m.data, shape=m.shape)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of stored elements."""
+        return int(self.val.size)
+
+    @property
+    def num_rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def num_cols(self) -> int:
+        return self.shape[1]
+
+    def memory_elements(self) -> int:
+        """Storage cost in array elements: ``3 * NNZ`` (paper Section II)."""
+        return 3 * self.nnz
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def sorted_by_row(self) -> "COOMatrix":
+        """Return a copy sorted row-major (stable on column within a row)."""
+        order = np.lexsort((self.col, self.row))
+        return COOMatrix(
+            row=self.row[order],
+            col=self.col[order],
+            val=self.val[order],
+            shape=self.shape,
+        )
+
+    def is_row_sorted(self) -> bool:
+        """True if entries are in non-decreasing row order."""
+        return bool(np.all(np.diff(self.row) >= 0)) if self.nnz > 1 else True
+
+    def transpose(self) -> "COOMatrix":
+        """Return the transpose (rows and columns swapped)."""
+        return COOMatrix(
+            row=self.col.copy(),
+            col=self.row.copy(),
+            val=self.val.copy(),
+            shape=(self.shape[1], self.shape[0]),
+        )
+
+    def to_scipy(self) -> sp.coo_matrix:
+        """Convert to ``scipy.sparse.coo_matrix`` (duplicates summed by scipy ops)."""
+        return sp.coo_matrix((self.val, (self.row, self.col)), shape=self.shape)
+
+    def to_dense(self) -> np.ndarray:
+        """Densify (test-sized matrices only); duplicate entries are summed."""
+        out = np.zeros(self.shape, dtype=self.val.dtype)
+        np.add.at(out, (self.row, self.col), self.val)
+        return out
+
+    def row_degrees(self) -> np.ndarray:
+        """Number of stored elements per row (node in-degree for adjacency)."""
+        return np.bincount(self.row, minlength=self.shape[0]).astype(np.int64)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"COOMatrix(shape={self.shape}, nnz={self.nnz})"

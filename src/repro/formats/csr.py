@@ -1,0 +1,124 @@
+"""CSR (compressed sparse row) format (paper Fig. 2(b)).
+
+CSR stores ``RowOffset`` (length ``M + 1``), ``ColInd`` and ``Value``.
+It is the format consumed by cuSPARSE's ALG2/ALG3 SpMM and CSR SDDMM, and
+by the row-split / merge-path / GE-SpMM baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from .base import (
+    SparseFormatError,
+    as_index_array,
+    as_value_array,
+    check_bounds,
+    check_shape,
+)
+
+
+@dataclass(frozen=True)
+class CSRMatrix:
+    """An ``M x N`` sparse matrix in compressed sparse row format.
+
+    Attributes
+    ----------
+    indptr : int32 array of length ``M + 1``
+        ``indptr[i]`` is the index into ``indices``/``data`` of the first
+        element of row ``i`` (the paper's ``Row Offset`` array).
+    indices : int32 array of length ``nnz``
+        Column index of each stored element, grouped by row.
+    data : float32 array of length ``nnz``
+        Stored values.
+    shape : (int, int)
+        Dense shape ``(M, N)``.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+    shape: tuple[int, int]
+
+    @classmethod
+    def from_arrays(cls, indptr, indices, data=None, *, shape) -> "CSRMatrix":
+        """Build a validated :class:`CSRMatrix` from raw arrays."""
+        m, n = check_shape(shape)
+        ptr = as_index_array(indptr, "indptr")
+        idx = as_index_array(indices, "indices")
+        if ptr.size != m + 1:
+            raise SparseFormatError(
+                f"indptr length {ptr.size} does not match {m} rows"
+            )
+        if ptr.size and (ptr[0] != 0 or ptr[-1] != idx.size):
+            raise SparseFormatError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(ptr) < 0):
+            raise SparseFormatError("indptr must be non-decreasing")
+        check_bounds(idx, n, "indices")
+        val = as_value_array(data, "data", idx.size)
+        return cls(indptr=ptr, indices=idx, data=val, shape=(m, n))
+
+    @classmethod
+    def from_scipy(cls, mat) -> "CSRMatrix":
+        """Convert any scipy sparse matrix to :class:`CSRMatrix`."""
+        m = sp.csr_matrix(mat)
+        m.sort_indices()
+        return cls.from_arrays(m.indptr, m.indices, m.data, shape=m.shape)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of stored elements."""
+        return int(self.data.size)
+
+    @property
+    def num_rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def num_cols(self) -> int:
+        return self.shape[1]
+
+    def memory_elements(self) -> int:
+        """Storage cost in array elements: ``M + 1 + 2 * NNZ`` (paper Section II)."""
+        return self.shape[0] + 1 + 2 * self.nnz
+
+    def row_degrees(self) -> np.ndarray:
+        """Number of stored elements per row."""
+        return np.diff(self.indptr).astype(np.int64)
+
+    def row_slice(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """Column indices and values of row ``i`` as array views."""
+        lo, hi = int(self.indptr[i]), int(self.indptr[i + 1])
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def to_scipy(self) -> sp.csr_matrix:
+        """Convert to ``scipy.sparse.csr_matrix``."""
+        return sp.csr_matrix(
+            (self.data, self.indices, self.indptr), shape=self.shape
+        )
+
+    def to_dense(self) -> np.ndarray:
+        """Densify (test-sized matrices only)."""
+        return self.to_scipy().toarray()
+
+    def decode_row_indices(self) -> np.ndarray:
+        """Expand ``indptr`` into a full per-element row-index array.
+
+        This is exactly the CSR-to-hybrid decode step of paper Fig. 2(d).
+        """
+        return np.repeat(
+            np.arange(self.shape[0], dtype=self.indices.dtype),
+            np.diff(self.indptr),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CSRMatrix(shape={self.shape}, nnz={self.nnz})"

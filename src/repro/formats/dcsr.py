@@ -1,0 +1,127 @@
+"""DCSR (doubly compressed sparse row) — ASpT's sparse-part format.
+
+ASpT (Hong et al., PPoPP'19 — a paper baseline) splits matrices into a
+dense CSR part and a *doubly compressed* remainder: DCSR stores row
+pointers only for rows that actually contain nonzeros, which saves the
+``M + 1`` pointer array when most rows are empty (exactly the situation
+for ASpT's leftover part and for sampled subgraphs of huge graphs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import SparseFormatError, as_index_array, as_value_array, check_bounds, check_shape
+from .hybrid import HybridMatrix
+
+
+@dataclass(frozen=True)
+class DCSRMatrix:
+    """An ``M x N`` matrix storing only nonempty rows.
+
+    Attributes
+    ----------
+    row_ids : int32 array, length ``nrows``
+        Sorted ids of the nonempty rows.
+    indptr : int32 array, length ``nrows + 1``
+        Offsets into ``indices``/``data`` per *stored* row.
+    indices, data : nnz-length arrays
+        Column indices and values, grouped by stored row.
+    shape : (int, int)
+    """
+
+    row_ids: np.ndarray
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+    shape: tuple[int, int]
+
+    @property
+    def nnz(self) -> int:
+        return int(self.data.size)
+
+    @property
+    def num_stored_rows(self) -> int:
+        return int(self.row_ids.size)
+
+    def memory_elements(self) -> int:
+        """Storage cost: ``2*nrows + 1 + 2*NNZ`` elements."""
+        return 2 * self.num_stored_rows + 1 + 2 * self.nnz
+
+    def compression_gain_vs_csr(self) -> int:
+        """Pointer-array elements saved relative to plain CSR."""
+        csr_ptr = self.shape[0] + 1
+        dcsr_ptr = 2 * self.num_stored_rows + 1
+        return csr_ptr - dcsr_ptr
+
+    @classmethod
+    def from_hybrid(cls, S: HybridMatrix) -> "DCSRMatrix":
+        """Compress a hybrid CSR/COO matrix (already row-grouped)."""
+        m, n = check_shape(S.shape)
+        if S.nnz == 0:
+            return cls(
+                row_ids=np.zeros(0, dtype=np.int32),
+                indptr=np.zeros(1, dtype=np.int32),
+                indices=np.zeros(0, dtype=np.int32),
+                data=np.zeros(0, dtype=np.float32),
+                shape=(m, n),
+            )
+        change = np.empty(S.nnz, dtype=bool)
+        change[0] = True
+        change[1:] = S.row[1:] != S.row[:-1]
+        starts = np.nonzero(change)[0]
+        row_ids = S.row[starts]
+        indptr = np.append(starts, S.nnz)
+        return cls(
+            row_ids=row_ids.astype(np.int32),
+            indptr=indptr.astype(np.int32),
+            indices=S.col.copy(),
+            data=S.val.copy(),
+            shape=(m, n),
+        )
+
+    @classmethod
+    def from_arrays(
+        cls, row_ids, indptr, indices, data=None, *, shape
+    ) -> "DCSRMatrix":
+        """Build from raw arrays with full validation."""
+        m, n = check_shape(shape)
+        rid = as_index_array(row_ids, "row_ids")
+        ptr = as_index_array(indptr, "indptr")
+        idx = as_index_array(indices, "indices")
+        if ptr.size != rid.size + 1:
+            raise SparseFormatError(
+                f"indptr length {ptr.size} != num rows {rid.size} + 1"
+            )
+        if rid.size and np.any(np.diff(rid) <= 0):
+            raise SparseFormatError("row_ids must be strictly increasing")
+        if ptr.size and (ptr[0] != 0 or ptr[-1] != idx.size):
+            raise SparseFormatError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(ptr) <= 0):
+            raise SparseFormatError(
+                "every stored row must be nonempty (that is DCSR's point)"
+            )
+        check_bounds(rid, m, "row_ids")
+        check_bounds(idx, n, "indices")
+        val = as_value_array(data, "data", idx.size)
+        return cls(row_ids=rid, indptr=ptr, indices=idx, data=val, shape=(m, n))
+
+    def to_hybrid(self) -> HybridMatrix:
+        """Decompress back to hybrid CSR/COO."""
+        lengths = np.diff(self.indptr)
+        rows = np.repeat(self.row_ids.astype(np.int64), lengths)
+        return HybridMatrix.from_arrays(
+            rows, self.indices, self.data, shape=self.shape
+        )
+
+    def to_dense(self) -> np.ndarray:
+        """Densify (test-sized matrices only)."""
+        return self.to_hybrid().to_dense()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DCSRMatrix(shape={self.shape}, nnz={self.nnz}, "
+            f"stored_rows={self.num_stored_rows})"
+        )

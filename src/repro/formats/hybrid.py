@@ -1,0 +1,189 @@
+"""Hybrid CSR/COO format (paper Fig. 2(d)) — the format HP kernels consume.
+
+The hybrid format is row-major-sorted COO: CSR's compressed row pointer is
+decoded into a complete per-element row-index array while the row-grouped
+ordering of CSR is preserved.  GNN frameworks store sampled subgraphs in
+this format directly (paper Section II), which is why HP-SpMM / HP-SDDMM
+need no preprocessing at kernel-launch time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from .base import SparseFormatError, as_index_array, as_value_array, check_bounds, check_shape
+from .coo import COOMatrix
+from .csr import CSRMatrix
+
+
+@dataclass(frozen=True)
+class HybridMatrix:
+    """Row-sorted COO with the invariant that rows are grouped and ascending.
+
+    Attributes
+    ----------
+    row, col : int32 arrays of length ``nnz``
+        Row / column index of each element; ``row`` is non-decreasing.
+    val : float32 array of length ``nnz``
+        Stored values.
+    shape : (int, int)
+        Dense shape ``(M, N)``.
+    """
+
+    row: np.ndarray
+    col: np.ndarray
+    val: np.ndarray
+    shape: tuple[int, int]
+
+    @classmethod
+    def from_arrays(cls, row, col, val=None, *, shape=None) -> "HybridMatrix":
+        """Build from raw arrays, verifying the row-sorted invariant."""
+        r = as_index_array(row, "row")
+        c = as_index_array(col, "col")
+        if r.size != c.size:
+            raise SparseFormatError(
+                f"row ({r.size}) and col ({c.size}) lengths differ"
+            )
+        v = as_value_array(val, "val", r.size)
+        if r.size > 1 and np.any(np.diff(r) < 0):
+            raise SparseFormatError(
+                "hybrid CSR/COO requires non-decreasing row indices; "
+                "use COOMatrix.sorted_by_row() first"
+            )
+        if shape is None:
+            m = int(r[-1]) + 1 if r.size else 0
+            n = int(c.max()) + 1 if c.size else 0
+            shape = (m, n)
+        m, n = check_shape(shape)
+        check_bounds(r, m, "row")
+        check_bounds(c, n, "col")
+        return cls(row=r, col=c, val=v, shape=(m, n))
+
+    @classmethod
+    def from_coo(cls, coo: COOMatrix) -> "HybridMatrix":
+        """Sort a COO matrix row-major and wrap it."""
+        s = coo if coo.is_row_sorted() else coo.sorted_by_row()
+        return cls(row=s.row, col=s.col, val=s.val, shape=s.shape)
+
+    @classmethod
+    def from_csr(cls, csr: CSRMatrix) -> "HybridMatrix":
+        """Decode CSR's row pointer into a full row-index array (Fig. 2(d))."""
+        return cls(
+            row=csr.decode_row_indices(),
+            col=csr.indices.copy(),
+            val=csr.data.copy(),
+            shape=csr.shape,
+        )
+
+    @classmethod
+    def from_scipy(cls, mat) -> "HybridMatrix":
+        """Convert any scipy sparse matrix."""
+        return cls.from_csr(CSRMatrix.from_scipy(mat))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of stored elements."""
+        return int(self.val.size)
+
+    @property
+    def num_rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def num_cols(self) -> int:
+        return self.shape[1]
+
+    def memory_elements(self) -> int:
+        """Storage cost in array elements: ``3 * NNZ`` (paper Section II)."""
+        return 3 * self.nnz
+
+    def row_degrees(self) -> np.ndarray:
+        """Number of stored elements per row."""
+        return np.bincount(self.row, minlength=self.shape[0]).astype(np.int64)
+
+    def indptr(self) -> np.ndarray:
+        """Recover the CSR row pointer from the decoded row indices."""
+        counts = np.bincount(self.row, minlength=self.shape[0])
+        ptr = np.zeros(self.shape[0] + 1, dtype=np.int64)
+        np.cumsum(counts, out=ptr[1:])
+        return ptr
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def to_coo(self) -> COOMatrix:
+        """View as (already sorted) COO."""
+        return COOMatrix(row=self.row, col=self.col, val=self.val, shape=self.shape)
+
+    def to_csr(self) -> CSRMatrix:
+        """Compress the row-index array back into CSR."""
+        return CSRMatrix(
+            indptr=self.indptr().astype(self.row.dtype),
+            indices=self.col.copy(),
+            data=self.val.copy(),
+            shape=self.shape,
+        )
+
+    def to_scipy(self) -> sp.csr_matrix:
+        """Convert to ``scipy.sparse.csr_matrix``."""
+        return self.to_csr().to_scipy()
+
+    def to_dense(self) -> np.ndarray:
+        """Densify (test-sized matrices only); duplicate entries are summed."""
+        return self.to_coo().to_dense()
+
+    def permute_rows(self, perm: np.ndarray) -> "HybridMatrix":
+        """Apply a row permutation: new row ``i`` is old row ``perm[i]``.
+
+        Used by the reordering techniques (GCR et al.).  The result is
+        re-sorted to restore the hybrid invariant.
+        """
+        perm = np.asarray(perm)
+        if perm.shape != (self.shape[0],):
+            raise SparseFormatError(
+                f"perm must have length {self.shape[0]}, got {perm.shape}"
+            )
+        inverse = np.empty_like(perm)
+        inverse[perm] = np.arange(perm.size, dtype=perm.dtype)
+        new_rows = inverse[self.row]
+        order = np.lexsort((self.col, new_rows))
+        return HybridMatrix(
+            row=new_rows[order].astype(self.row.dtype),
+            col=self.col[order],
+            val=self.val[order],
+            shape=self.shape,
+        )
+
+    def permute_symmetric(self, perm: np.ndarray) -> "HybridMatrix":
+        """Apply the same permutation to rows and columns.
+
+        This is the transform GCR performs on a (square) adjacency matrix:
+        nodes of one community become contiguous in both dimensions.
+        """
+        if self.shape[0] != self.shape[1]:
+            raise SparseFormatError("symmetric permutation requires a square matrix")
+        perm = np.asarray(perm)
+        if perm.shape != (self.shape[0],):
+            raise SparseFormatError(
+                f"perm must have length {self.shape[0]}, got {perm.shape}"
+            )
+        inverse = np.empty_like(perm)
+        inverse[perm] = np.arange(perm.size, dtype=perm.dtype)
+        new_rows = inverse[self.row]
+        new_cols = inverse[self.col]
+        order = np.lexsort((new_cols, new_rows))
+        return HybridMatrix(
+            row=new_rows[order].astype(self.row.dtype),
+            col=new_cols[order].astype(self.col.dtype),
+            val=self.val[order],
+            shape=self.shape,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HybridMatrix(shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,66 @@
+"""GNN training substrate: autograd, layers, models, simulated timing.
+
+Replaces the DGL / PyG + PyTorch stack of the paper's end-to-end
+evaluation (Section IV-G) with a from-scratch implementation whose sparse
+operators dispatch to this library's kernels.
+"""
+
+from .attention import edge_softmax, leaky_relu, sddmm_op, weighted_spmm
+from .autograd import (
+    Tensor,
+    add,
+    cross_entropy,
+    dropout,
+    log_softmax,
+    matmul,
+    nll_loss,
+    relu,
+)
+from .layers import GCNConv, Linear, Module, glorot
+from .models import GAT, GCN, DotGATConv, saint_normalization
+from .optim import SGD, Adam
+from .sage import GraphSAGE, SAGEConv, row_normalized
+from .sparse_ops import GraphOperand, sddmm_values, spmm
+from .timing import TimingContext
+from .trainer import (
+    SyntheticTask,
+    TrainReport,
+    train_full_graph,
+    train_graph_sampling,
+)
+
+__all__ = [
+    "edge_softmax",
+    "leaky_relu",
+    "sddmm_op",
+    "weighted_spmm",
+    "GAT",
+    "DotGATConv",
+    "Tensor",
+    "add",
+    "cross_entropy",
+    "dropout",
+    "log_softmax",
+    "matmul",
+    "nll_loss",
+    "relu",
+    "GCNConv",
+    "Linear",
+    "Module",
+    "glorot",
+    "GCN",
+    "saint_normalization",
+    "SGD",
+    "Adam",
+    "GraphSAGE",
+    "SAGEConv",
+    "row_normalized",
+    "GraphOperand",
+    "sddmm_values",
+    "spmm",
+    "TimingContext",
+    "SyntheticTask",
+    "TrainReport",
+    "train_full_graph",
+    "train_graph_sampling",
+]

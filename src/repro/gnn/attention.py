@@ -1,0 +1,152 @@
+"""Attention-style GNN ops: autograd SDDMM, edge softmax, weighted SpMM.
+
+This is the edge-wise half of the Message Passing Paradigm (paper
+Eq. 2): attention models compute an edge score with SDDMM, normalize it
+per destination with an edge softmax, and aggregate with an SpMM whose
+*values* are the attention weights.  The sparse-kernel symmetry the
+paper exploits shows up in autograd:
+
+* ``sddmm_op``'s backward is two SpMMs (gradients w.r.t. both dense
+  operands);
+* ``weighted_spmm``'s backward w.r.t. its edge values is an SDDMM.
+
+So a single attention layer triggers both HP kernels in both passes —
+the workload mix the paper's Section I motivates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..formats import HybridMatrix
+from .autograd import Tensor, _make
+from .sparse_ops import GraphOperand
+from .timing import TimingContext
+
+
+def sddmm_op(
+    graph: GraphOperand,
+    a1: Tensor,
+    a2: Tensor,
+    timing: TimingContext | None = None,
+) -> Tensor:
+    """Edge scores ``e_(u,v) = <a1[v], a2[u]>`` over the sparsity pattern.
+
+    ``a1`` has shape (M, K) (destination features), ``a2`` shape (N, K)
+    (source features).  Returns an nnz-length Tensor in the matrix's
+    element order.  Backward gradients are SpMM products with the
+    gradient-weighted pattern.
+    """
+    S = graph.matrix
+    k = a1.data.shape[1]
+    scores = np.einsum(
+        "ij,ij->i", a1.data[S.row], a2.data[S.col], dtype=np.float32
+    )
+    if timing is not None:
+        timing.record_sddmm(S, k)
+
+    def backward(g: np.ndarray) -> None:
+        weighted = sp.csr_matrix(
+            (g.astype(np.float32), (S.row, S.col)), shape=S.shape
+        )
+        if a1.requires_grad:
+            if timing is not None:
+                timing.record_spmm(S, k)
+            a1._accumulate(weighted @ a2.data)
+        if a2.requires_grad:
+            if timing is not None:
+                timing.record_spmm(graph.matrix_t, k)
+            a2._accumulate(weighted.T @ a1.data)
+
+    return _make(
+        scores, (a1, a2), backward, a1.requires_grad or a2.requires_grad
+    )
+
+
+def edge_softmax(
+    graph: GraphOperand,
+    scores: Tensor,
+    timing: TimingContext | None = None,
+) -> Tensor:
+    """Softmax of edge scores over each destination node's incoming edges.
+
+    Works on the row-sorted hybrid layout: each row's contiguous segment
+    is one softmax group.  Rows with no edges contribute nothing.
+    """
+    S = graph.matrix
+    indptr = S.indptr()
+    lengths = np.diff(indptr)
+    nonempty = lengths > 0
+    starts = indptr[:-1][nonempty].astype(np.int64)
+
+    x = scores.data
+    seg_max = np.maximum.reduceat(x, starts)
+    per_edge_max = np.repeat(seg_max, lengths[nonempty])
+    ex = np.exp(x - per_edge_max)
+    seg_sum = np.add.reduceat(ex, starts)
+    per_edge_sum = np.repeat(seg_sum, lengths[nonempty])
+    alpha = (ex / per_edge_sum).astype(np.float32)
+    if timing is not None:
+        # Two segment reductions + one elementwise pass over the edges.
+        timing.record_elementwise(int(S.nnz), num_arrays=4)
+
+    def backward(g: np.ndarray) -> None:
+        if scores.requires_grad:
+            dot = np.add.reduceat(alpha * g, starts)
+            per_edge_dot = np.repeat(dot, lengths[nonempty])
+            scores._accumulate(alpha * (g - per_edge_dot))
+
+    return _make(alpha, (scores,), backward, scores.requires_grad)
+
+
+def weighted_spmm(
+    graph: GraphOperand,
+    values: Tensor,
+    x: Tensor,
+    timing: TimingContext | None = None,
+) -> Tensor:
+    """``out = S(values) @ X`` with the sparsity pattern of ``graph``.
+
+    ``values`` replaces the pattern's stored values (e.g. attention
+    weights).  Backward: grad w.r.t. ``values`` is an SDDMM of the output
+    gradient against ``X``; grad w.r.t. ``X`` is a transposed SpMM.
+    """
+    S = graph.matrix
+    k = x.data.shape[1]
+    weighted = sp.csr_matrix(
+        (values.data.astype(np.float32), (S.row, S.col)), shape=S.shape
+    )
+    out_data = (weighted @ x.data).astype(np.float32)
+    if timing is not None:
+        timing.record_spmm(S, k)
+
+    def backward(g: np.ndarray) -> None:
+        if values.requires_grad:
+            if timing is not None:
+                timing.record_sddmm(S, k)
+            grad_vals = np.einsum(
+                "ij,ij->i", g[S.row], x.data[S.col], dtype=np.float32
+            )
+            values._accumulate(grad_vals)
+        if x.requires_grad:
+            if timing is not None:
+                timing.record_spmm(graph.matrix_t, k)
+            x._accumulate(weighted.T @ g)
+
+    return _make(
+        out_data, (values, x), backward,
+        values.requires_grad or x.requires_grad,
+    )
+
+
+def leaky_relu(a: Tensor, slope: float = 0.2) -> Tensor:
+    """LeakyReLU (GAT's score nonlinearity)."""
+    mask = a.data > 0
+    grad_factor = np.where(mask, 1.0, slope).astype(np.float32)
+
+    def backward(g: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(g * grad_factor)
+
+    return _make(a.data * grad_factor, (a,), backward, a.requires_grad)

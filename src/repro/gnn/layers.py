@@ -1,0 +1,129 @@
+"""Neural-network layers: Linear, GCNConv, and the module container.
+
+GCNConv follows the GNN-framework implementation the paper describes
+(Section I): one SpMM aggregation over the normalized adjacency matrix
+followed by a fully-connected transform.  Every layer records its dense
+costs into the shared :class:`~repro.gnn.timing.TimingContext`; the SpMM
+cost is recorded by :func:`repro.gnn.sparse_ops.spmm`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .autograd import Tensor, add, dropout, matmul, relu
+from .sparse_ops import GraphOperand, spmm
+from .timing import TimingContext
+
+
+class Module:
+    """Base class: tracks parameters, training mode, and a name."""
+
+    def __init__(self) -> None:
+        self.training = True
+
+    def parameters(self) -> list[Tensor]:
+        out: list[Tensor] = []
+        for v in self.__dict__.values():
+            if isinstance(v, Tensor) and v.requires_grad:
+                out.append(v)
+            elif isinstance(v, Module):
+                out.extend(v.parameters())
+            elif isinstance(v, (list, tuple)):
+                for item in v:
+                    if isinstance(item, Module):
+                        out.extend(item.parameters())
+        return out
+
+    def train(self) -> None:
+        self.training = True
+        for v in self.__dict__.values():
+            if isinstance(v, Module):
+                v.train()
+            elif isinstance(v, (list, tuple)):
+                for item in v:
+                    if isinstance(item, Module):
+                        item.train()
+
+    def eval(self) -> None:
+        self.training = False
+        for v in self.__dict__.values():
+            if isinstance(v, Module):
+                v.eval()
+            elif isinstance(v, (list, tuple)):
+                for item in v:
+                    if isinstance(item, Module):
+                        item.eval()
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+
+def glorot(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot/Xavier uniform initialization."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out)).astype(np.float32)
+
+
+class Linear(Module):
+    """Dense affine transform ``X @ W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Tensor(
+            glorot(rng, in_features, out_features), requires_grad=True, name="W"
+        )
+        self.bias = Tensor(
+            np.zeros((1, out_features), dtype=np.float32),
+            requires_grad=True,
+            name="b",
+        )
+
+    def __call__(self, x: Tensor, timing: TimingContext | None = None) -> Tensor:
+        if timing is not None:
+            m = x.data.shape[0]
+            # forward GEMM + the two backward GEMMs it will trigger
+            timing.record_gemm(m, self.out_features, self.in_features)
+            timing.record_gemm(m, self.in_features, self.out_features)
+            timing.record_gemm(self.in_features, self.out_features, m)
+        return add(matmul(x, self.weight), self.bias)
+
+
+class GCNConv(Module):
+    """One graph-convolution layer: aggregate (SpMM) then transform (FC)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        *,
+        activation: bool = True,
+        dropout_p: float = 0.0,
+    ):
+        super().__init__()
+        self.linear = Linear(in_features, out_features, rng)
+        self.activation = activation
+        self.dropout_p = dropout_p
+        self._rng = rng
+
+    def __call__(
+        self,
+        graph: GraphOperand,
+        x: Tensor,
+        timing: TimingContext | None = None,
+    ) -> Tensor:
+        h = spmm(graph, x, timing)
+        h = self.linear(h, timing)
+        if self.activation:
+            if timing is not None:
+                timing.record_elementwise(h.data.size)
+            h = relu(h)
+        if self.dropout_p > 0:
+            if timing is not None:
+                timing.record_elementwise(h.data.size)
+            h = dropout(h, self.dropout_p, self._rng, self.training)
+        return h

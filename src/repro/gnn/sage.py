@@ -1,0 +1,115 @@
+"""GraphSAGE layers — the mean-aggregator model behind neighbor sampling.
+
+The paper's graph-sampling dataset is collected from training runs of
+sampling-based models, GraphSAGE among them (Section IV-A1).  SAGEConv
+aggregates neighbor features with a row-normalized SpMM (``D^-1 A X``)
+and combines them with a separate self transform:
+
+    H = ReLU( X W_self + (D^-1 A) X W_neigh )
+
+Both the aggregation and its backward run through the configured SpMM
+kernel, so GraphSAGE training benefits from HP-SpMM exactly like GCN.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats import HybridMatrix
+from .autograd import Tensor, add, cross_entropy, relu
+from .layers import Linear, Module
+from .sparse_ops import GraphOperand, spmm
+from .timing import TimingContext
+
+
+def row_normalized(S: HybridMatrix) -> GraphOperand:
+    """Mean-aggregation operand: values scaled to ``1 / out_degree``."""
+    deg = np.bincount(S.row, minlength=S.shape[0]).astype(np.float32)
+    scale = 1.0 / np.maximum(deg, 1.0)
+    return GraphOperand(
+        HybridMatrix(
+            row=S.row,
+            col=S.col,
+            val=(S.val * scale[S.row]).astype(np.float32),
+            shape=S.shape,
+        )
+    )
+
+
+class SAGEConv(Module):
+    """GraphSAGE convolution with the mean aggregator."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        *,
+        activation: bool = True,
+    ):
+        super().__init__()
+        self.self_linear = Linear(in_features, out_features, rng)
+        self.neigh_linear = Linear(in_features, out_features, rng)
+        self.activation = activation
+
+    def __call__(
+        self,
+        graph: GraphOperand,
+        x: Tensor,
+        timing: TimingContext | None = None,
+    ) -> Tensor:
+        h_self = self.self_linear(x, timing)
+        h_neigh = self.neigh_linear(spmm(graph, x, timing), timing)
+        out = add(h_self, h_neigh)
+        if self.activation:
+            if timing is not None:
+                timing.record_elementwise(out.data.size)
+            out = relu(out)
+        return out
+
+
+class GraphSAGE(Module):
+    """A stack of SAGEConv layers for node classification."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: int,
+        num_classes: int,
+        num_layers: int,
+        *,
+        seed: int = 0,
+    ):
+        super().__init__()
+        if num_layers < 2:
+            raise ValueError("GraphSAGE needs at least 2 layers")
+        rng = np.random.default_rng(seed)
+        dims = [in_features] + [hidden] * (num_layers - 1) + [num_classes]
+        self.layers = [
+            SAGEConv(dims[i], dims[i + 1], rng,
+                     activation=(i < num_layers - 1))
+            for i in range(num_layers)
+        ]
+
+    def __call__(
+        self,
+        graph: GraphOperand,
+        x: Tensor,
+        timing: TimingContext | None = None,
+    ) -> Tensor:
+        h = x
+        for layer in self.layers:
+            h = layer(graph, h, timing)
+        return h
+
+    def loss(
+        self,
+        graph: GraphOperand,
+        x: Tensor,
+        labels: np.ndarray,
+        timing: TimingContext | None = None,
+    ) -> Tensor:
+        logits = self(graph, x, timing)
+        if timing is not None:
+            timing.record_elementwise(logits.data.size, num_arrays=3)
+        return cross_entropy(logits, labels)

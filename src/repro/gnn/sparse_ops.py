@@ -1,0 +1,85 @@
+"""Autograd-aware sparse operations bridging graphs and Tensors.
+
+``spmm(S, X)`` aggregates node features over the adjacency matrix; its
+backward pass is an SpMM against ``S``'s transpose (so GNN training
+executes *two* sparse products per layer per step, both of which the
+timing context prices with the configured kernel — exactly how the
+paper's kernels enter end-to-end training time).
+
+Numerics run through SciPy's CSR product (our C-speed stand-in for the
+GPU's arithmetic; the reduction order is equivalent), and are verified in
+the test-suite against :func:`repro.kernels.spmm_reference`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats import HybridMatrix
+from .autograd import Tensor, _make
+from .timing import TimingContext
+
+
+class GraphOperand:
+    """A graph prepared for training: adjacency, transpose and scipy views.
+
+    Built once per graph (or per sampled subgraph); caches the transposed
+    hybrid matrix needed by backward SpMM and the scipy CSR forms used
+    for numerics.
+    """
+
+    def __init__(self, S: HybridMatrix):
+        self.matrix = S
+        self.csr = S.to_scipy()
+        self.csr_t = self.csr.T.tocsr()
+        self.matrix_t = HybridMatrix.from_scipy(self.csr_t)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.matrix.shape[0]
+
+    @classmethod
+    def gcn_normalized(cls, S: HybridMatrix) -> "GraphOperand":
+        """Symmetrically-normalized adjacency D^-1/2 (A) D^-1/2.
+
+        ``S`` is assumed self-looped (the paper's convention); this is the
+        propagation matrix of the GCN layer.
+        """
+        deg_out = np.asarray(S.to_scipy().sum(axis=1)).ravel()
+        deg_in = np.asarray(S.to_scipy().sum(axis=0)).ravel()
+        d_out = 1.0 / np.sqrt(np.maximum(deg_out, 1.0))
+        d_in = 1.0 / np.sqrt(np.maximum(deg_in, 1.0))
+        new_val = (
+            S.val * d_out[S.row].astype(np.float32) * d_in[S.col].astype(np.float32)
+        )
+        return cls(
+            HybridMatrix(row=S.row, col=S.col, val=new_val, shape=S.shape)
+        )
+
+
+def spmm(graph: GraphOperand, x: Tensor, timing: TimingContext | None = None) -> Tensor:
+    """Sparse-dense product ``S @ X`` with autograd and simulated timing."""
+    k = x.data.shape[1]
+    out_data = graph.csr @ x.data
+    if timing is not None:
+        timing.record_spmm(graph.matrix, k)
+
+    def backward(g: np.ndarray) -> None:
+        if x.requires_grad:
+            if timing is not None:
+                timing.record_spmm(graph.matrix_t, k)
+            x._accumulate(graph.csr_t @ g)
+
+    return _make(
+        out_data.astype(np.float32), (x,), backward, x.requires_grad
+    )
+
+
+def sddmm_values(
+    graph: GraphOperand, a1: np.ndarray, a2t: np.ndarray
+) -> np.ndarray:
+    """Edge scores ``(A1 @ A2) ⊙ S`` as an nnz-array (attention-style)."""
+    S = graph.matrix
+    return np.einsum(
+        "ij,ij->i", a1[S.row], a2t[S.col], dtype=np.float32
+    ) * S.val

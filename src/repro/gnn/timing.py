@@ -1,0 +1,121 @@
+"""Simulated-GPU timing for GNN training (paper Table V substrate).
+
+Training time on a real GPU is the sum of kernel times: sparse ops (SpMM
+for GCN aggregation, forward and backward) plus dense ops (GEMM for the
+weight transforms, elementwise activations, softmax).  This module
+accrues that sum deterministically:
+
+* sparse ops are priced by the library's kernel cost models (HP-SpMM vs
+  the framework's default kernel is exactly the w/ vs w/o comparison of
+  Table V);
+* dense ops use a roofline price: ``max(flops / peak, bytes / bandwidth)
+  + launch overhead``.
+
+Kernel-model evaluations are cached per (matrix, K, kernel, device) so
+multi-epoch training does not recompute them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+from ..formats import HybridMatrix
+from ..gpusim import DeviceSpec, TESLA_V100
+from ..kernels import make_sddmm, make_spmm
+from ..kernels.api import SDDMMKernel, SpMMKernel
+
+
+@dataclass
+class TimingContext:
+    """Accumulates simulated GPU seconds, split by op category."""
+
+    device: DeviceSpec = TESLA_V100
+    spmm_kernel: str = "hp-spmm"
+    sddmm_kernel: str = "hp-sddmm"
+    spmm_kwargs: dict = field(default_factory=dict)
+    sparse_s: float = 0.0
+    dense_s: float = 0.0
+    elementwise_s: float = 0.0
+    num_sparse_ops: int = 0
+    num_dense_ops: int = 0
+    _kernel: SpMMKernel | None = None
+    _sddmm: SDDMMKernel | None = None
+    _spmm_cache: dict = field(default_factory=dict)
+    _sddmm_cache: dict = field(default_factory=dict)
+
+    @property
+    def total_s(self) -> float:
+        return self.sparse_s + self.dense_s + self.elementwise_s
+
+    def kernel(self) -> SpMMKernel:
+        if self._kernel is None:
+            self._kernel = make_spmm(self.spmm_kernel, **self.spmm_kwargs)
+        return self._kernel
+
+    def sddmm(self) -> SDDMMKernel:
+        if self._sddmm is None:
+            self._sddmm = make_sddmm(self.sddmm_kernel)
+        return self._sddmm
+
+    # ------------------------------------------------------------------
+    def spmm_time(self, S: HybridMatrix, k: int) -> float:
+        """Simulated time of one SpMM of ``S`` against a K-column operand."""
+        key = (id(S), k)
+        if key not in self._spmm_cache:
+            # Timing-only evaluation: the cost model reads shapes and the
+            # sparsity pattern, never the operand values.
+            result = self.kernel().estimate(S, k, device=self.device)
+            self._spmm_cache[key] = result.stats.time_s + result.preprocessing_s
+        return self._spmm_cache[key]
+
+    def sddmm_time(self, S: HybridMatrix, k: int) -> float:
+        """Simulated time of one SDDMM over ``S`` with K-wide operands."""
+        key = (id(S), k)
+        if key not in self._sddmm_cache:
+            result = self.sddmm().estimate(S, k, device=self.device)
+            self._sddmm_cache[key] = (
+                result.stats.time_s + result.preprocessing_s
+            )
+        return self._sddmm_cache[key]
+
+    def record_spmm(self, S: HybridMatrix, k: int) -> None:
+        self.sparse_s += self.spmm_time(S, k)
+        self.num_sparse_ops += 1
+
+    def record_sddmm(self, S: HybridMatrix, k: int) -> None:
+        self.sparse_s += self.sddmm_time(S, k)
+        self.num_sparse_ops += 1
+
+    def record_gemm(self, m: int, n: int, k: int) -> None:
+        """Dense GEMM (m x k) @ (k x n): roofline price."""
+        flops = 2.0 * m * n * k
+        bytes_moved = 4.0 * (m * k + k * n + m * n)
+        t = max(
+            flops / self.device.peak_fp32_flops,
+            bytes_moved / self.device.dram_bandwidth,
+        ) + self.device.kernel_launch_overhead_s
+        self.dense_s += t
+        self.num_dense_ops += 1
+
+    def record_elementwise(self, num_elems: int, num_arrays: int = 2) -> None:
+        """Elementwise kernel over ``num_elems`` elements (relu, dropout...)."""
+        bytes_moved = 4.0 * num_elems * num_arrays
+        self.elementwise_s += (
+            bytes_moved / self.device.dram_bandwidth
+            + self.device.kernel_launch_overhead_s
+        )
+
+    def summary(self) -> dict:
+        """Plain-dict summary for reports."""
+        return {
+            "total_s": self.total_s,
+            "sparse_s": self.sparse_s,
+            "dense_s": self.dense_s,
+            "elementwise_s": self.elementwise_s,
+            "num_sparse_ops": self.num_sparse_ops,
+            "num_dense_ops": self.num_dense_ops,
+            "spmm_kernel": self.spmm_kernel,
+            "sddmm_kernel": self.sddmm_kernel,
+            "device": self.device.name,
+        }

@@ -1,0 +1,133 @@
+"""Cycle-level cost accounting for simulated kernels.
+
+The model is a bulk-synchronous *roofline + critical path* hybrid:
+
+* each warp's serial execution time is derived from its instruction count
+  and its memory transactions (latency partially hidden by memory-level
+  parallelism);
+* each scheduling wave is then bound below by four device-level
+  throughput rooflines (instruction issue, FP32 FMA, L2 bandwidth, DRAM
+  bandwidth) *and* by the critical path of its slowest warp.
+
+Load imbalance (node-parallel kernels on skewed graphs) surfaces through
+the critical-path term; the tail effect (paper Fig. 6) surfaces through
+partial waves that cannot saturate the throughput terms; HVMA surfaces
+through reduced instruction counts and transaction counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Microarchitectural cost constants shared by every kernel model.
+
+    The defaults are calibrated to public V100/A100 microbenchmarks
+    (instruction issue latency, L2/DRAM load-to-use latency) and are held
+    fixed across all kernels and experiments — only the *work* each kernel
+    generates differs.
+    """
+
+    #: Cycles between dependent instructions of one warp (issue + ALU lat).
+    cycles_per_instruction: float = 6.0
+    #: Load-to-use latency of an L2 hit, in cycles.
+    l2_latency: float = 220.0
+    #: Load-to-use latency of a DRAM access, in cycles.
+    dram_latency: float = 470.0
+    #: Memory-level parallelism: outstanding transactions per warp that
+    #: overlap, dividing observed latency on the warp's critical path.
+    mlp: float = 16.0
+    #: Cycles per warp-wide atomic RMW op on its critical path.
+    atomic_latency: float = 40.0
+    #: Device-level warp-atomic throughput (ops / cycle / SM).
+    atomic_throughput_per_sm: float = 1.0
+    #: Margin on the Little's-law warp count needed to saturate DRAM
+    #: bandwidth (1.0 = exactly bandwidth x latency / in-flight bytes).
+    dram_saturation_margin: float = 1.6
+    #: Margin on the Little's-law warp count needed to saturate L2.
+    l2_saturation_margin: float = 0.8
+    #: Fixed per-block scheduling overhead in cycles (block dispatch).
+    block_dispatch_cycles: float = 300.0
+
+
+#: Library-wide default cost parameters.
+DEFAULT_COST = CostParams()
+
+
+@dataclass
+class WarpWorkload:
+    """Per-warp work description produced by a kernel cost model.
+
+    Each field is an array of length ``num_warps`` (float64); entry ``w``
+    describes everything warp ``w`` executes over the kernel's lifetime.
+    """
+
+    #: Warp-wide instructions issued (loads, stores, FMA, control).
+    issue: np.ndarray
+    #: 32-byte transactions served by L2 (hits).
+    l2_sectors: np.ndarray
+    #: 32-byte transactions served by DRAM (L2 misses, incl. write-backs).
+    dram_sectors: np.ndarray
+    #: Warp-wide FP32 FMA instructions.
+    fma: np.ndarray
+    #: Warp-wide atomic RMW operations (already conflict-inflated).
+    atomics: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        n = self.issue.shape[0]
+        if self.atomics is None:
+            self.atomics = np.zeros(n, dtype=np.float64)
+        for name in ("issue", "l2_sectors", "dram_sectors", "fma", "atomics"):
+            arr = np.asarray(getattr(self, name), dtype=np.float64)
+            if arr.shape != (n,):
+                raise ValueError(
+                    f"{name} has shape {arr.shape}, expected ({n},)"
+                )
+            if arr.size and float(arr.min()) < 0:
+                raise ValueError(f"{name} contains negative work")
+            setattr(self, name, arr)
+
+    @property
+    def num_warps(self) -> int:
+        return int(self.issue.shape[0])
+
+    @classmethod
+    def zeros(cls, num_warps: int) -> "WarpWorkload":
+        """A workload of ``num_warps`` idle warps (useful as a base)."""
+        z = lambda: np.zeros(num_warps, dtype=np.float64)  # noqa: E731
+        return cls(issue=z(), l2_sectors=z(), dram_sectors=z(), fma=z())
+
+    def scaled(self, factor: float) -> "WarpWorkload":
+        """Uniformly scale all work (e.g. per-K replication)."""
+        return WarpWorkload(
+            issue=self.issue * factor,
+            l2_sectors=self.l2_sectors * factor,
+            dram_sectors=self.dram_sectors * factor,
+            fma=self.fma * factor,
+            atomics=self.atomics * factor,
+        )
+
+    def total_bytes(self, sector_bytes: int = 32) -> float:
+        """Total bytes moved through the memory hierarchy."""
+        return float((self.l2_sectors.sum() + self.dram_sectors.sum()) * sector_bytes)
+
+
+def warp_critical_cycles(
+    work: WarpWorkload, cost: CostParams = DEFAULT_COST
+) -> np.ndarray:
+    """Serial execution time of each warp in cycles.
+
+    ``issue * CPI`` models the dependent-instruction stream; memory
+    latencies are divided by the MLP factor because a warp keeps several
+    transactions in flight; atomics serialize at their own latency.
+    """
+    return (
+        work.issue * cost.cycles_per_instruction
+        + (work.l2_sectors * cost.l2_latency + work.dram_sectors * cost.dram_latency)
+        / cost.mlp
+        + work.atomics * cost.atomic_latency
+    )

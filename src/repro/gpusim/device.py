@@ -1,0 +1,194 @@
+"""GPU device model: hardware resources, occupancy and wave geometry.
+
+This module captures the quantities the paper's Dynamic Task Partition
+technique reasons about (Section III-B, Eqs. 3-4):
+
+* ``ActiveBlocksPerSM`` — Eq. (3): the number of thread blocks an SM can
+  host concurrently, limited by warp slots, the register file and shared
+  memory.
+* ``FullWaveSize`` — Eq. (4): the number of blocks the whole device can
+  run concurrently; launches are scheduled in *waves* of this size, and a
+  partial final wave under-utilizes the GPU (the *tail effect*).
+
+Device presets mirror the paper's evaluation platforms: Tesla V100,
+Tesla A30 and GeForce RTX 3090.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+#: Threads per warp on every modern NVIDIA GPU.
+WARP_SIZE = 32
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of one GPU.
+
+    All bandwidths are in bytes/second and clocks in Hz so cost formulas
+    need no unit conversions.
+    """
+
+    name: str
+    compute_capability: tuple[int, int]
+    num_sms: int
+    max_warps_per_sm: int
+    max_blocks_per_sm: int
+    max_threads_per_block: int
+    registers_per_sm: int
+    max_registers_per_thread: int
+    shared_mem_per_sm: int           # bytes
+    shared_mem_per_block_max: int    # bytes
+    l2_cache_bytes: int
+    l1_line_bytes: int               # L1 cache-line granularity (128 B)
+    l2_sector_bytes: int             # L2 sector granularity (32 B)
+    dram_bandwidth: float            # bytes / s
+    l2_bandwidth: float              # bytes / s
+    clock_hz: float
+    fp32_lanes_per_sm: int           # FP32 CUDA cores per SM
+    issue_slots_per_sm: int          # warp instructions issued per cycle per SM
+    tf32_tc_flops: float             # tensor-core TF32 peak FLOP/s (0 if absent)
+    kernel_launch_overhead_s: float  # fixed host->device launch latency
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def fma_throughput_per_sm(self) -> float:
+        """Warp-wide FP32 FMA instructions retired per cycle per SM."""
+        return self.fp32_lanes_per_sm / WARP_SIZE
+
+    @property
+    def peak_fp32_flops(self) -> float:
+        """Device FP32 peak in FLOP/s (2 FLOPs per FMA lane per cycle)."""
+        return 2.0 * self.fp32_lanes_per_sm * self.num_sms * self.clock_hz
+
+    def active_blocks_per_sm(
+        self,
+        warps_per_block: int,
+        registers_per_thread: int,
+        shared_mem_per_block: int,
+    ) -> int:
+        """Paper Eq. (3): concurrent blocks per SM under resource limits.
+
+        Returns at least 0; a configuration that cannot fit at all (e.g.
+        more shared memory than the SM owns) yields 0 and the caller must
+        treat the launch as invalid.
+        """
+        if warps_per_block <= 0:
+            raise ValueError("warps_per_block must be positive")
+        by_warps = self.max_warps_per_sm // warps_per_block
+        regs_per_block = registers_per_thread * warps_per_block * WARP_SIZE
+        by_regs = (
+            self.registers_per_sm // regs_per_block if regs_per_block else by_warps
+        )
+        by_smem = (
+            self.shared_mem_per_sm // shared_mem_per_block
+            if shared_mem_per_block
+            else self.max_blocks_per_sm
+        )
+        return max(0, min(by_warps, by_regs, by_smem, self.max_blocks_per_sm))
+
+    def full_wave_size(
+        self,
+        warps_per_block: int,
+        registers_per_thread: int,
+        shared_mem_per_block: int,
+    ) -> int:
+        """Paper Eq. (4): blocks per full scheduling wave on this device."""
+        return self.num_sms * self.active_blocks_per_sm(
+            warps_per_block, registers_per_thread, shared_mem_per_block
+        )
+
+    def with_(self, **kwargs) -> "DeviceSpec":
+        """Return a copy with selected fields replaced (for what-if studies)."""
+        return replace(self, **kwargs)
+
+
+#: Tesla V100-SXM2 16 GB — the paper's primary platform (CC 7.0, 80 SMs).
+TESLA_V100 = DeviceSpec(
+    name="Tesla V100",
+    compute_capability=(7, 0),
+    num_sms=80,
+    max_warps_per_sm=64,
+    max_blocks_per_sm=32,
+    max_threads_per_block=1024,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    shared_mem_per_sm=96 * 1024,
+    shared_mem_per_block_max=96 * 1024,
+    l2_cache_bytes=6 * 1024 * 1024,
+    l1_line_bytes=128,
+    l2_sector_bytes=32,
+    dram_bandwidth=900e9,
+    l2_bandwidth=2_150e9,
+    clock_hz=1.38e9,
+    fp32_lanes_per_sm=64,
+    issue_slots_per_sm=4,
+    tf32_tc_flops=0.0,  # V100 tensor cores are FP16-only; TF32 unavailable
+    kernel_launch_overhead_s=3.0e-6,
+)
+
+#: Tesla A30 24 GB — the paper's second platform (CC 8.0, 56 SMs).
+TESLA_A30 = DeviceSpec(
+    name="Tesla A30",
+    compute_capability=(8, 0),
+    num_sms=56,
+    max_warps_per_sm=64,
+    max_blocks_per_sm=32,
+    max_threads_per_block=1024,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    shared_mem_per_sm=164 * 1024,
+    shared_mem_per_block_max=163 * 1024,
+    l2_cache_bytes=24 * 1024 * 1024,
+    l1_line_bytes=128,
+    l2_sector_bytes=32,
+    dram_bandwidth=933e9,
+    l2_bandwidth=2_300e9,
+    clock_hz=1.44e9,
+    fp32_lanes_per_sm=64,
+    issue_slots_per_sm=4,
+    tf32_tc_flops=82e12,
+    kernel_launch_overhead_s=3.0e-6,
+)
+
+#: GeForce RTX 3090 — used only for the TC-GNN comparison (Section IV-C).
+RTX_3090 = DeviceSpec(
+    name="RTX 3090",
+    compute_capability=(8, 6),
+    num_sms=82,
+    max_warps_per_sm=48,
+    max_blocks_per_sm=16,
+    max_threads_per_block=1024,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    shared_mem_per_sm=100 * 1024,
+    shared_mem_per_block_max=99 * 1024,
+    l2_cache_bytes=6 * 1024 * 1024,
+    l1_line_bytes=128,
+    l2_sector_bytes=32,
+    dram_bandwidth=936e9,
+    l2_bandwidth=2_000e9,
+    clock_hz=1.70e9,
+    fp32_lanes_per_sm=128,
+    issue_slots_per_sm=4,
+    tf32_tc_flops=35.6e12,
+    kernel_launch_overhead_s=3.0e-6,
+)
+
+#: Registry used by the benchmark harness to select platforms by name.
+DEVICES: dict[str, DeviceSpec] = {
+    "v100": TESLA_V100,
+    "a30": TESLA_A30,
+    "rtx3090": RTX_3090,
+}
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a device preset by case-insensitive short name."""
+    key = name.strip().lower().replace(" ", "").replace("tesla", "")
+    if key not in DEVICES:
+        raise KeyError(f"unknown device {name!r}; choose from {sorted(DEVICES)}")
+    return DEVICES[key]

@@ -1,0 +1,221 @@
+"""Kernel launch simulation: block scheduling, rooflines, tail effect.
+
+The launch timer combines three bounds, mirroring how a real GPU executes
+a grid of thread blocks:
+
+* **List-scheduling makespan.**  The device offers ``P = NumSM *
+  ActiveBlocksPerSM`` concurrent block slots (paper Eqs. 3-4); blocks are
+  greedily backfilled onto slots, so execution takes at least
+  ``max(longest block, total block time / P)``.  A block occupies its
+  slot until its *slowest warp* finishes — this is where node-parallel
+  load imbalance hurts, and why Sputnik's row sorting (similar rows share
+  a block) helps.
+
+* **Throughput rooflines.**  Device-wide instruction-issue, FMA, L2 and
+  DRAM bandwidth bounds.  Bandwidth saturates only once enough warps are
+  resident; a launch with too few blocks (the *tail effect*, paper
+  Fig. 6) cannot reach peak bandwidth, which is exactly what Dynamic Task
+  Partition fixes by raising the warp count.
+
+* **Fixed overheads.**  Block dispatch and kernel launch latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .costmodel import DEFAULT_COST, CostParams, WarpWorkload, warp_critical_cycles
+from .device import DeviceSpec
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """Per-launch resource configuration (determines occupancy)."""
+
+    warps_per_block: int
+    registers_per_thread: int = 32
+    shared_mem_per_block: int = 0
+
+    def __post_init__(self) -> None:
+        if self.warps_per_block <= 0:
+            raise ValueError("warps_per_block must be positive")
+        if self.registers_per_thread < 0 or self.shared_mem_per_block < 0:
+            raise ValueError("resources must be non-negative")
+
+    @property
+    def threads_per_block(self) -> int:
+        return self.warps_per_block * 32
+
+
+@dataclass(frozen=True)
+class KernelStats:
+    """Everything the simulator knows about one kernel execution."""
+
+    time_s: float                #: end-to-end time incl. launch overhead
+    cycles: float                #: device cycles spent executing
+    num_warps: int
+    num_blocks: int
+    num_waves: int               #: ceil(blocks / FullWaveSize)
+    full_wave_size: int          #: blocks per full wave (Eq. 4)
+    active_blocks_per_sm: int    #: occupancy term (Eq. 3)
+    tail_utilization: float      #: fullness of the last wave, in (0, 1]
+    balance_cycles: float        #: list-scheduling makespan bound
+    longest_block_cycles: float  #: slowest single block (imbalance signal)
+    issue_cycles: float          #: instruction-issue roofline
+    fma_cycles: float            #: FMA roofline
+    l2_cycles: float             #: L2-bandwidth roofline
+    dram_cycles: float           #: DRAM-bandwidth roofline
+    atomic_cycles: float         #: atomic-throughput roofline
+    dram_bytes: float            #: total bytes moved from/to DRAM
+    l2_bytes: float              #: total bytes served by L2
+    bound: str                   #: dominant bound for this launch
+
+    @property
+    def time_ms(self) -> float:
+        return self.time_s * 1e3
+
+    @property
+    def time_us(self) -> float:
+        return self.time_s * 1e6
+
+    def throughput_gflops(self, flops: float) -> float:
+        """Achieved GFLOP/s for a caller-supplied FLOP count."""
+        return flops / self.time_s / 1e9 if self.time_s > 0 else 0.0
+
+
+def simulate_launch(
+    device: DeviceSpec,
+    work: WarpWorkload,
+    config: LaunchConfig,
+    cost: CostParams = DEFAULT_COST,
+) -> KernelStats:
+    """Simulate one kernel launch and return its :class:`KernelStats`.
+
+    Warps are assigned to blocks consecutively (warp ``w`` lives in block
+    ``w // warps_per_block``), matching how every kernel in this library
+    maps its flat warp id.
+    """
+    sector = device.l2_sector_bytes
+    num_warps = work.num_warps
+    if num_warps == 0:
+        return KernelStats(
+            time_s=device.kernel_launch_overhead_s,
+            cycles=0.0,
+            num_warps=0,
+            num_blocks=0,
+            num_waves=0,
+            full_wave_size=0,
+            active_blocks_per_sm=0,
+            tail_utilization=1.0,
+            balance_cycles=0.0,
+            longest_block_cycles=0.0,
+            issue_cycles=0.0,
+            fma_cycles=0.0,
+            l2_cycles=0.0,
+            dram_cycles=0.0,
+            atomic_cycles=0.0,
+            dram_bytes=0.0,
+            l2_bytes=0.0,
+            bound="launch",
+        )
+
+    wpb = config.warps_per_block
+    num_blocks = -(-num_warps // wpb)
+    active_per_sm = device.active_blocks_per_sm(
+        wpb, config.registers_per_thread, config.shared_mem_per_block
+    )
+    if active_per_sm == 0:
+        raise ValueError(
+            f"launch config {config} does not fit on {device.name}: "
+            "zero resident blocks per SM"
+        )
+    slots = device.num_sms * active_per_sm
+
+    # --- list-scheduling makespan --------------------------------------
+    warp_cycles = warp_critical_cycles(work, cost)
+    block_starts = np.arange(num_blocks, dtype=np.int64) * wpb
+    block_cycles = np.maximum.reduceat(warp_cycles, block_starts)
+    longest_block = float(block_cycles.max())
+    balance = max(longest_block, float(block_cycles.sum()) / slots)
+
+    # --- throughput rooflines ------------------------------------------
+    busy_sms = min(device.num_sms, num_blocks)
+    total_issue = float(work.issue.sum())
+    total_fma = float(work.fma.sum())
+    total_l2 = float(work.l2_sectors.sum())
+    total_dram = float(work.dram_sectors.sum())
+    total_atomics = float(work.atomics.sum())
+
+    issue_time = total_issue / (busy_sms * device.issue_slots_per_sm)
+    fma_time = total_fma / (busy_sms * device.fma_throughput_per_sm)
+
+    # Little's law: a warp keeps ``mlp`` sectors in flight, so saturating
+    # a bandwidth of B with latency L needs B * L / (mlp * sector_bytes)
+    # concurrent warps — a property of the memory path, independent of SM
+    # count.  Launches with fewer resident warps run latency-limited
+    # (this is the tail effect of paper Fig. 6).
+    resident_warps = min(num_warps, slots * wpb)
+    inflight_bytes = cost.mlp * sector
+    warps_to_sat_dram = (
+        device.dram_bandwidth
+        * (cost.dram_latency / device.clock_hz)
+        / inflight_bytes
+        * cost.dram_saturation_margin
+    )
+    warps_to_sat_l2 = (
+        device.l2_bandwidth
+        * (cost.l2_latency / device.clock_hz)
+        / inflight_bytes
+        * cost.l2_saturation_margin
+    )
+    dram_sat = min(1.0, resident_warps / warps_to_sat_dram)
+    l2_sat = min(1.0, resident_warps / warps_to_sat_l2)
+    dram_time = (
+        total_dram * sector * device.clock_hz / device.dram_bandwidth / dram_sat
+    )
+    l2_time = (
+        (total_l2 + total_dram)
+        * sector
+        * device.clock_hz
+        / device.l2_bandwidth
+        / l2_sat
+    )
+    atomic_time = total_atomics / (busy_sms * cost.atomic_throughput_per_sm)
+
+    bounds = {
+        "balance": balance,
+        "issue": issue_time,
+        "fma": fma_time,
+        "l2": l2_time,
+        "dram": dram_time,
+        "atomic": atomic_time,
+    }
+    bound = max(bounds, key=bounds.get)  # type: ignore[arg-type]
+    dispatch = num_blocks * cost.block_dispatch_cycles / slots
+    total_cycles = bounds[bound] + dispatch
+
+    num_waves = -(-num_blocks // slots)
+    tail_blocks = num_blocks - (num_waves - 1) * slots
+    time_s = total_cycles / device.clock_hz + device.kernel_launch_overhead_s
+    return KernelStats(
+        time_s=time_s,
+        cycles=float(total_cycles),
+        num_warps=num_warps,
+        num_blocks=num_blocks,
+        num_waves=int(num_waves),
+        full_wave_size=int(slots),
+        active_blocks_per_sm=int(active_per_sm),
+        tail_utilization=float(tail_blocks / slots),
+        balance_cycles=float(balance),
+        longest_block_cycles=longest_block,
+        issue_cycles=float(issue_time),
+        fma_cycles=float(fma_time),
+        l2_cycles=float(l2_time),
+        dram_cycles=float(dram_time),
+        atomic_cycles=float(atomic_time),
+        dram_bytes=total_dram * sector,
+        l2_bytes=total_l2 * sector,
+        bound=bound,
+    )

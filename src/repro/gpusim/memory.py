@@ -1,0 +1,180 @@
+"""Global-memory transaction model: coalescing, alignment, vectorization.
+
+This is the substrate for the paper's Hierarchical Vectorized Memory
+Access analysis (Section III-B2):
+
+* Global memory moves in 32-byte L2 sectors; a warp-wide access costs as
+  many transactions as the sectors it touches.
+* An access is *aligned* when its first address is a multiple of the
+  sector size; a misaligned contiguous access touches one extra sector.
+* Vectorized loads (``float2`` / ``float4``) require the address to be a
+  multiple of the vector width and reduce the *instruction* count (and
+  therefore issue pressure), not the byte count.
+
+All helpers are pure functions over sizes/addresses so kernel cost models
+can evaluate them vectorized over millions of accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Bytes per FP32 element; the paper evaluates everything in FP32.
+FP32 = 4
+
+#: Vector widths (in elements) usable by CUDA load/store instructions.
+VECTOR_WIDTHS = (1, 2, 4)
+
+
+def sectors_for_access(
+    start_byte: np.ndarray | int,
+    num_bytes: np.ndarray | int,
+    sector_bytes: int = 32,
+) -> np.ndarray | int:
+    """Number of ``sector_bytes`` memory transactions for a contiguous access.
+
+    Works elementwise on arrays.  ``num_bytes == 0`` costs zero sectors.
+    """
+    start = np.asarray(start_byte, dtype=np.int64)
+    nbytes = np.asarray(num_bytes, dtype=np.int64)
+    end = start + nbytes
+    first = start // sector_bytes
+    last = (end - 1) // sector_bytes
+    out = np.where(nbytes > 0, last - first + 1, 0)
+    if np.isscalar(start_byte) and np.isscalar(num_bytes):
+        return int(out)
+    return out
+
+
+def is_aligned(start_byte: np.ndarray | int, granularity: int) -> np.ndarray | bool:
+    """Whether an address is aligned to ``granularity`` bytes (elementwise)."""
+    res = (np.asarray(start_byte, dtype=np.int64) % granularity) == 0
+    if np.isscalar(start_byte):
+        return bool(res)
+    return res
+
+
+def max_vector_width(start_byte: int, num_elems: int, elem_bytes: int = FP32) -> int:
+    """Widest vector load usable for a contiguous run of elements.
+
+    The address must be aligned to the vector byte-width and the run length
+    must be a multiple of the vector width; this is the hardware rule HVMA
+    engineers around.
+    """
+    for width in (4, 2):
+        vbytes = width * elem_bytes
+        if start_byte % vbytes == 0 and num_elems % width == 0:
+            return width
+    return 1
+
+
+@dataclass(frozen=True)
+class RowAccessProfile:
+    """Cost profile for a warp cooperatively loading one dense K-vector row.
+
+    Produced by :func:`dense_row_profile`; consumed per-nonzero by the
+    kernel cost models (each SpMM/SDDMM nonzero triggers one such load of a
+    row of the dense feature matrix).
+    """
+
+    k: int                     #: feature dimension (elements per row)
+    vector_width: int          #: elements per thread per load instruction
+    instructions: int          #: warp-wide load instructions per row
+    sectors_aligned: int       #: 32B transactions when the row is aligned
+    sectors_misaligned: int    #: 32B transactions when it is not
+    aligned: bool              #: whether rows of this K are always aligned
+
+    @property
+    def sectors(self) -> int:
+        """Transactions actually paid given the alignment of this profile."""
+        return self.sectors_aligned if self.aligned else self.sectors_misaligned
+
+
+def dense_row_profile(
+    k: int,
+    vector_width: int = 1,
+    sector_bytes: int = 32,
+    elem_bytes: int = FP32,
+) -> RowAccessProfile:
+    """Profile a warp loading one contiguous row of ``k`` FP32 elements.
+
+    Row ``r`` of a row-major ``(N, K)`` matrix starts at byte ``r*K*4``;
+    it is guaranteed sector-aligned iff ``K*4`` is a multiple of the sector
+    size (true for the K = 32/64/128 the paper evaluates).  A warp of 32
+    threads loading ``vector_width`` elements each covers ``32*vw``
+    elements per instruction.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if vector_width not in VECTOR_WIDTHS:
+        raise ValueError(f"vector_width must be one of {VECTOR_WIDTHS}")
+    row_bytes = k * elem_bytes
+    # A vectorized load additionally requires element-count divisibility.
+    vw = vector_width
+    while vw > 1 and k % (vw) != 0:
+        vw //= 2
+    per_instr_elems = 32 * vw
+    instructions = int(np.ceil(k / per_instr_elems))
+    aligned = (row_bytes % sector_bytes) == 0
+    sectors_aligned = int(np.ceil(row_bytes / sector_bytes))
+    sectors_misaligned = sectors_aligned + 1
+    return RowAccessProfile(
+        k=k,
+        vector_width=vw,
+        instructions=instructions,
+        sectors_aligned=sectors_aligned,
+        sectors_misaligned=sectors_misaligned,
+        aligned=aligned,
+    )
+
+
+def strided_gather_sectors(
+    k: int, sector_bytes: int = 32, elem_bytes: int = FP32
+) -> int:
+    """Transactions when a *single thread* walks a K-element row alone.
+
+    This is the uncoalesced pattern of scalar row-split kernels: each
+    4-byte load touches its own 32-byte sector unless consecutive elements
+    share one, so the warp's 32 rows cost up to ``32 * ceil(K*4/32)``... for
+    a single row the cost is ``ceil(K*elem/sector)`` sectors *touched*, but
+    the useful bytes per sector is ``sector/elem`` only if the same thread
+    revisits the sector immediately (it does, sequentially), so a lone
+    thread still moves the whole row once.  The *inefficiency* of the
+    pattern is that the warp's 32 concurrent lanes touch 32 unrelated rows,
+    which we charge at one sector per element up to the row's span.
+    """
+    full = int(np.ceil(k * elem_bytes / sector_bytes))
+    return full
+
+
+def warp_scatter_sectors(
+    num_addresses: int, sector_bytes: int = 32, elem_bytes: int = FP32
+) -> int:
+    """Transactions for a warp accessing ``num_addresses`` unrelated addresses.
+
+    Fully uncoalesced: one sector per distinct address (upper bound used
+    for random gathers such as per-thread column lookups).
+    """
+    return int(num_addresses)
+
+
+def sparse_tile_load_sectors(
+    tile_elems: int,
+    arrays: int = 3,
+    elem_bytes: int = FP32,
+    sector_bytes: int = 32,
+    aligned: bool = True,
+) -> int:
+    """Transactions for a warp cooperatively loading a sparse-data tile.
+
+    HP kernels load ``tile_elems`` consecutive entries of each of the
+    ``arrays`` hybrid CSR/COO arrays (RowInd, ColInd, Value) into shared
+    memory.  The loads are coalesced by construction; alignment depends on
+    whether the tile start (``warp_id * NnzPerWarp``) is sector-aligned,
+    which HVMA guarantees by restricting NnzPerWarp to the candidate set.
+    """
+    per_array = sectors_for_access(0, tile_elems * elem_bytes, sector_bytes)
+    extra = 0 if aligned else 1
+    return arrays * (int(per_array) + extra)

@@ -1,0 +1,219 @@
+"""Exact trace simulation of HP-SpMM / HP-SDDMM for model validation.
+
+The analytic cost models in ``repro.kernels.hp_spmm`` and
+``repro.kernels.hp_sddmm`` price warps with closed-form expressions.
+This module independently *replays* Algorithms 3 and 4 warp by warp and
+element by element — real byte addresses, real sector counting, an exact
+LRU cache — so the test-suite can check that the closed forms agree with
+a literal execution of the paper's pseudo-code.  It is intentionally
+slow (pure Python) and meant for tiny matrices only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..formats import HybridMatrix
+from .cache import LRUCache
+from .device import DeviceSpec, TESLA_V100
+from .memory import FP32, sectors_for_access
+
+
+@dataclass
+class TraceCounts:
+    """Instruction / transaction totals from an exact replay."""
+
+    warps: int = 0
+    instructions: float = 0.0
+    sparse_sectors: int = 0
+    dense_accesses: int = 0
+    dense_sectors: int = 0
+    dense_hits: int = 0       #: dense sectors served by the traced L2
+    row_switches: int = 0     #: row-switch stores (incl. final flush)
+    write_sectors: int = 0
+    fma_instructions: float = 0.0
+    per_warp_nnz: list = field(default_factory=list)
+
+    @property
+    def dense_hit_rate(self) -> float:
+        return (
+            self.dense_hits / self.dense_sectors if self.dense_sectors else 0.0
+        )
+
+
+def trace_hp_spmm(
+    S: HybridMatrix,
+    k: int,
+    *,
+    nnz_per_warp: int,
+    vector_width: int = 1,
+    device: DeviceSpec = TESLA_V100,
+    max_nnz: int = 20_000,
+) -> TraceCounts:
+    """Replay Algorithm 3 exactly and return its operation counts.
+
+    One feature group only (``k`` must be coverable by one warp sweep per
+    element — the counts for additional groups are exact replicas).
+    Raises for matrices above ``max_nnz`` to avoid accidental long runs.
+    """
+    if S.nnz > max_nnz:
+        raise ValueError(f"trace simulation is for tiny matrices (nnz <= {max_nnz})")
+    if nnz_per_warp <= 0:
+        raise ValueError("nnz_per_warp must be positive")
+    sector = device.l2_sector_bytes
+    counts = TraceCounts()
+    nnz = S.nnz
+    if nnz == 0:
+        return counts
+
+    # Exact L2 at sector granularity over the dense operand.
+    l2_sectors_capacity = max(1, device.l2_cache_bytes // sector // 2)
+    cache = LRUCache(l2_sectors_capacity)
+
+    feats_per_sweep = 32 * vector_width
+    sweeps_per_row = -(-k // feats_per_sweep)
+    row_bytes = k * FP32
+
+    num_warps = -(-nnz // nnz_per_warp)
+    counts.warps = num_warps
+    for w in range(num_warps):
+        start = w * nnz_per_warp
+        end = min(start + nnz_per_warp, nnz)
+        counts.per_warp_nnz.append(end - start)
+        current_row = None
+        for tile_start in range(start, end, 32):
+            tile_end = min(tile_start + 32, end)
+            tile_elems = tile_end - tile_start
+            # Cooperative tile load: 3 arrays, contiguous, real addresses.
+            for _array in range(3):
+                byte0 = tile_start * FP32
+                counts.sparse_sectors += int(
+                    sectors_for_access(byte0, tile_elems * FP32, sector)
+                )
+                counts.instructions += 1.0 / vector_width
+            for j in range(tile_start, tile_end):
+                col = int(S.col[j])
+                row = int(S.row[j])
+                counts.instructions += 1.0  # shared-memory broadcast read
+                # Row-switch procedure.
+                if current_row is not None and row != current_row:
+                    counts.row_switches += 1
+                    counts.write_sectors += int(
+                        sectors_for_access(current_row * row_bytes, row_bytes, sector)
+                    )
+                    counts.instructions += sweeps_per_row  # atomic stores
+                current_row = row
+                # Dense row load: warp-wide, vectorized sweeps.
+                base = col * row_bytes
+                for s in range(sweeps_per_row):
+                    lo = base + s * feats_per_sweep * FP32
+                    nbytes = min(feats_per_sweep * FP32, base + row_bytes - lo)
+                    if nbytes <= 0:
+                        continue
+                    first = lo // sector
+                    last = (lo + nbytes - 1) // sector
+                    for sec in range(first, last + 1):
+                        counts.dense_sectors += 1
+                        if cache.access(sec):
+                            counts.dense_hits += 1
+                    counts.instructions += 1.0
+                counts.dense_accesses += 1
+                counts.fma_instructions += sweeps_per_row * vector_width
+                counts.instructions += sweeps_per_row * vector_width
+        # Final flush of the last accumulated row.
+        if current_row is not None:
+            counts.row_switches += 1
+            counts.write_sectors += int(
+                sectors_for_access(current_row * row_bytes, row_bytes, sector)
+            )
+            counts.instructions += sweeps_per_row
+    return counts
+
+
+def trace_hp_sddmm(
+    S: HybridMatrix,
+    k: int,
+    *,
+    nnz_per_warp: int,
+    vector_width: int = 1,
+    device: DeviceSpec = TESLA_V100,
+    max_nnz: int = 20_000,
+) -> TraceCounts:
+    """Replay Algorithm 4 (HP-SDDMM) exactly and return operation counts.
+
+    ``row_switches`` counts A1-row *loads* here (the algorithm reloads
+    A1 only when the slice's row changes); ``write_sectors`` counts the
+    nnz-value output stores; dense accesses cover both A1 and A2 reads.
+    """
+    if S.nnz > max_nnz:
+        raise ValueError(
+            f"trace simulation is for tiny matrices (nnz <= {max_nnz})"
+        )
+    if nnz_per_warp <= 0:
+        raise ValueError("nnz_per_warp must be positive")
+    sector = device.l2_sector_bytes
+    counts = TraceCounts()
+    nnz = S.nnz
+    if nnz == 0:
+        return counts
+
+    l2_sectors_capacity = max(1, device.l2_cache_bytes // sector // 2)
+    cache = LRUCache(l2_sectors_capacity)
+
+    feats_per_sweep = 32 * vector_width
+    sweeps_per_row = -(-k // feats_per_sweep)
+    row_bytes = k * FP32
+
+    def read_row(base: int) -> None:
+        """Warp-wide vectorized read of one operand row through the L2."""
+        for s in range(sweeps_per_row):
+            lo = base + s * feats_per_sweep * FP32
+            nbytes = min(feats_per_sweep * FP32, base + row_bytes - lo)
+            if nbytes <= 0:
+                continue
+            first = lo // sector
+            last = (lo + nbytes - 1) // sector
+            for sec in range(first, last + 1):
+                counts.dense_sectors += 1
+                if cache.access(sec):
+                    counts.dense_hits += 1
+            counts.instructions += 1.0
+
+    # Offset A1 rows into a disjoint address region so A1 and A2 never
+    # alias in the traced cache.
+    a1_base = (S.shape[1] + 1) * row_bytes
+
+    num_warps = -(-nnz // nnz_per_warp)
+    counts.warps = num_warps
+    for w in range(num_warps):
+        start = w * nnz_per_warp
+        end = min(start + nnz_per_warp, nnz)
+        counts.per_warp_nnz.append(end - start)
+        current_row = None
+        for tile_start in range(start, end, 32):
+            tile_end = min(tile_start + 32, end)
+            tile_elems = tile_end - tile_start
+            for _array in range(3):
+                byte0 = tile_start * FP32
+                counts.sparse_sectors += int(
+                    sectors_for_access(byte0, tile_elems * FP32, sector)
+                )
+                counts.instructions += 1.0 / vector_width
+            for j in range(tile_start, tile_end):
+                col = int(S.col[j])
+                row = int(S.row[j])
+                counts.instructions += 1.0  # shared-memory broadcast read
+                # A2 row: loaded for every nonzero.
+                read_row(col * row_bytes)
+                counts.dense_accesses += 1
+                # A1 row: loaded only on a row switch (register reuse).
+                if row != current_row:
+                    counts.row_switches += 1
+                    read_row(a1_base + row * row_bytes)
+                    counts.dense_accesses += 1
+                    current_row = row
+                # Multiply + warp reduction + lane-0 store.
+                counts.fma_instructions += sweeps_per_row * vector_width
+                counts.instructions += sweeps_per_row * vector_width + 5 + 1
+                counts.write_sectors += 1 if (j % 8 == 0) else 0
+    return counts

@@ -1,0 +1,54 @@
+"""Graph workloads: calibrated synthetic datasets (paper Table II),
+graph-sampling subgraph collection, and degree statistics."""
+
+from .generators import (
+    chung_lu_graph,
+    community_graph,
+    lognormal_degree_graph,
+    rmat_graph,
+)
+from .registry import (
+    DEFAULT_MAX_EDGES,
+    FULL_GRAPH_ORDER,
+    FULL_GRAPH_SPECS,
+    Dataset,
+    GraphSpec,
+    load_all,
+    load_graph,
+    max_edges_limit,
+)
+from .samplers import (
+    Subgraph,
+    build_sampling_dataset,
+    induced_subgraph,
+    sage_neighbor_sampler,
+    saint_edge_sampler,
+    saint_node_sampler,
+    saint_walk_sampler,
+)
+from .stats import DegreeStats, pearson_r, variance_suite
+
+__all__ = [
+    "chung_lu_graph",
+    "community_graph",
+    "lognormal_degree_graph",
+    "rmat_graph",
+    "DEFAULT_MAX_EDGES",
+    "FULL_GRAPH_ORDER",
+    "FULL_GRAPH_SPECS",
+    "Dataset",
+    "GraphSpec",
+    "load_all",
+    "load_graph",
+    "max_edges_limit",
+    "Subgraph",
+    "build_sampling_dataset",
+    "induced_subgraph",
+    "sage_neighbor_sampler",
+    "saint_edge_sampler",
+    "saint_node_sampler",
+    "saint_walk_sampler",
+    "DegreeStats",
+    "pearson_r",
+    "variance_suite",
+]

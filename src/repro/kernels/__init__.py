@@ -1,0 +1,71 @@
+"""SpMM / SDDMM kernels: the paper's HP kernels plus all baselines.
+
+Importing this package registers every kernel in
+:data:`~repro.kernels.api.SPMM_REGISTRY` /
+:data:`~repro.kernels.api.SDDMM_REGISTRY` so the benchmark harness can
+instantiate them by name.
+"""
+
+from .api import (
+    SDDMM_REGISTRY,
+    SPMM_REGISTRY,
+    SDDMMKernel,
+    SDDMMResult,
+    SpMMKernel,
+    SpMMResult,
+    make_sddmm,
+    make_spmm,
+)
+from .cusparse_model import (
+    CusparseCooAlg4,
+    CusparseCsrAlg2,
+    CusparseCsrAlg3,
+    CusparseCsrSDDMM,
+)
+from .fusedmm import FusedMM, FusedMMResult, fusedmm_reference
+from .hp_sddmm import HPSDDMM
+from .hp_spmm import HPSpMM
+from .reference import sddmm_flops, sddmm_reference, spmm_flops, spmm_reference
+from . import baselines  # noqa: F401  (registers baseline kernels)
+from .baselines import (
+    ASpTSpMM,
+    DGLSDDMM,
+    GESpMM,
+    HuangNGSpMM,
+    MergePathSpMM,
+    RowSplitSpMM,
+    SputnikSpMM,
+    TCGNNSpMM,
+)
+
+__all__ = [
+    "SDDMM_REGISTRY",
+    "SPMM_REGISTRY",
+    "SDDMMKernel",
+    "SDDMMResult",
+    "SpMMKernel",
+    "SpMMResult",
+    "make_sddmm",
+    "make_spmm",
+    "CusparseCooAlg4",
+    "CusparseCsrAlg2",
+    "CusparseCsrAlg3",
+    "CusparseCsrSDDMM",
+    "FusedMM",
+    "FusedMMResult",
+    "fusedmm_reference",
+    "HPSDDMM",
+    "HPSpMM",
+    "sddmm_flops",
+    "sddmm_reference",
+    "spmm_flops",
+    "spmm_reference",
+    "ASpTSpMM",
+    "DGLSDDMM",
+    "GESpMM",
+    "HuangNGSpMM",
+    "MergePathSpMM",
+    "RowSplitSpMM",
+    "SputnikSpMM",
+    "TCGNNSpMM",
+]

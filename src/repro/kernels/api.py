@@ -1,0 +1,229 @@
+"""Common kernel interface: results, registries and the base classes.
+
+Every SpMM / SDDMM implementation in this library produces *two* things:
+
+* the numerical result (computed exactly, in NumPy, with the same
+  reduction semantics as the modeled CUDA kernel), and
+* a :class:`~repro.gpusim.launch.KernelStats` describing the simulated
+  GPU execution (the quantity the paper's evaluation compares).
+
+Kernels that need host-side preprocessing (merge-path, Sputnik, ASpT,
+Huang's neighbor grouping) additionally report a modeled preprocessing
+time, reproducing paper Table IV.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..formats import HybridMatrix
+from ..gpusim import DEFAULT_COST, CostParams, DeviceSpec, KernelStats, TESLA_V100
+
+
+@dataclass(frozen=True)
+class SpMMResult:
+    """Output of one simulated SpMM ``O = S @ A``.
+
+    ``output`` is ``None`` when the result came from
+    :meth:`SpMMKernel.estimate` (timing-only evaluation).
+    """
+
+    output: np.ndarray | None   #: dense (M, K) product, or None
+    stats: KernelStats          #: simulated kernel execution
+    preprocessing_s: float = 0.0  #: modeled host preprocessing time
+
+    @property
+    def total_time_s(self) -> float:
+        """Kernel + preprocessing (what dynamic GNN computing pays)."""
+        return self.stats.time_s + self.preprocessing_s
+
+
+@dataclass(frozen=True)
+class SDDMMResult:
+    """Output of one simulated SDDMM ``S_O = (A1 @ A2) ⊙ S``.
+
+    ``values`` is ``None`` for timing-only evaluations.
+    """
+
+    values: np.ndarray | None   #: nnz-length output values, in S's order
+    stats: KernelStats
+    preprocessing_s: float = 0.0
+
+    @property
+    def total_time_s(self) -> float:
+        return self.stats.time_s + self.preprocessing_s
+
+
+class SpMMKernel(abc.ABC):
+    """Base class for SpMM implementations.
+
+    Subclasses set :attr:`name` and implement :meth:`_estimate`, which
+    builds the simulated execution for a given feature width.  ``S`` is
+    always supplied in hybrid CSR/COO form; kernels that natively consume
+    CSR/COO convert views internally (conversion is free — the arrays are
+    shared — matching the paper's convention of excluding
+    format-conversion time).
+    """
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def _estimate(
+        self,
+        S: HybridMatrix,
+        k: int,
+        device: DeviceSpec,
+        cost: CostParams,
+    ) -> tuple[KernelStats, float]:
+        """Simulate one launch; returns (stats, preprocessing_seconds)."""
+
+    def estimate(
+        self,
+        S: HybridMatrix,
+        k: int,
+        device: DeviceSpec = TESLA_V100,
+        cost: CostParams = DEFAULT_COST,
+    ) -> SpMMResult:
+        """Timing-only evaluation: no numerics are computed."""
+        if k <= 0:
+            raise ValueError("k must be positive")
+        stats, pre = self._estimate(S, int(k), device, cost)
+        return SpMMResult(output=None, stats=stats, preprocessing_s=pre)
+
+    def run(
+        self,
+        S: HybridMatrix,
+        A: np.ndarray,
+        device: DeviceSpec = TESLA_V100,
+        cost: CostParams = DEFAULT_COST,
+    ) -> SpMMResult:
+        """Execute ``S @ A``: exact numerics plus simulated stats."""
+        from .reference import spmm_reference
+
+        A = validate_spmm_operands(S, A)
+        stats, pre = self._estimate(S, A.shape[1], device, cost)
+        return SpMMResult(
+            output=spmm_reference(S, A), stats=stats, preprocessing_s=pre
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class SDDMMKernel(abc.ABC):
+    """Base class for SDDMM implementations.
+
+    ``A1`` has shape ``(M, K)``; ``A2T`` is supplied *transposed* with
+    shape ``(N, K)`` so both operand reads are row-major, matching the
+    layout HP-SDDMM (Algorithm 4) assumes.
+    """
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def _estimate(
+        self,
+        S: HybridMatrix,
+        k: int,
+        device: DeviceSpec,
+        cost: CostParams,
+    ) -> tuple[KernelStats, float]:
+        """Simulate one launch; returns (stats, preprocessing_seconds)."""
+
+    def estimate(
+        self,
+        S: HybridMatrix,
+        k: int,
+        device: DeviceSpec = TESLA_V100,
+        cost: CostParams = DEFAULT_COST,
+    ) -> SDDMMResult:
+        """Timing-only evaluation: no numerics are computed."""
+        if k <= 0:
+            raise ValueError("k must be positive")
+        stats, pre = self._estimate(S, int(k), device, cost)
+        return SDDMMResult(values=None, stats=stats, preprocessing_s=pre)
+
+    def run(
+        self,
+        S: HybridMatrix,
+        A1: np.ndarray,
+        A2T: np.ndarray,
+        device: DeviceSpec = TESLA_V100,
+        cost: CostParams = DEFAULT_COST,
+    ) -> SDDMMResult:
+        """Execute ``(A1 @ A2) ⊙ S``: exact numerics plus simulated stats."""
+        from .reference import sddmm_reference
+
+        A1, A2T = validate_sddmm_operands(S, A1, A2T)
+        stats, pre = self._estimate(S, A1.shape[1], device, cost)
+        return SDDMMResult(
+            values=sddmm_reference(S, A1, A2T), stats=stats, preprocessing_s=pre
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+#: Registries mapping kernel short-name -> factory, used by the harness.
+SPMM_REGISTRY: dict[str, type] = {}
+SDDMM_REGISTRY: dict[str, type] = {}
+
+
+def register_spmm(cls):
+    """Class decorator registering an :class:`SpMMKernel` by its name."""
+    SPMM_REGISTRY[cls.name] = cls
+    return cls
+
+
+def register_sddmm(cls):
+    """Class decorator registering an :class:`SDDMMKernel` by its name."""
+    SDDMM_REGISTRY[cls.name] = cls
+    return cls
+
+
+def make_spmm(name: str, **kwargs) -> SpMMKernel:
+    """Instantiate a registered SpMM kernel by name."""
+    if name not in SPMM_REGISTRY:
+        raise KeyError(f"unknown SpMM kernel {name!r}; have {sorted(SPMM_REGISTRY)}")
+    return SPMM_REGISTRY[name](**kwargs)
+
+
+def make_sddmm(name: str, **kwargs) -> SDDMMKernel:
+    """Instantiate a registered SDDMM kernel by name."""
+    if name not in SDDMM_REGISTRY:
+        raise KeyError(f"unknown SDDMM kernel {name!r}; have {sorted(SDDMM_REGISTRY)}")
+    return SDDMM_REGISTRY[name](**kwargs)
+
+
+def validate_spmm_operands(S: HybridMatrix, A: np.ndarray) -> np.ndarray:
+    """Check shapes/dtypes for SpMM; returns A as float32 C-contiguous."""
+    A = np.ascontiguousarray(A, dtype=np.float32)
+    if A.ndim != 2:
+        raise ValueError(f"A must be 2-D, got shape {A.shape}")
+    if A.shape[0] != S.shape[1]:
+        raise ValueError(
+            f"dimension mismatch: S is {S.shape}, A is {A.shape}"
+        )
+    return A
+
+
+def validate_sddmm_operands(
+    S: HybridMatrix, A1: np.ndarray, A2T: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Check shapes/dtypes for SDDMM; returns float32 C-contiguous copies."""
+    A1 = np.ascontiguousarray(A1, dtype=np.float32)
+    A2T = np.ascontiguousarray(A2T, dtype=np.float32)
+    if A1.ndim != 2 or A2T.ndim != 2:
+        raise ValueError("A1 and A2T must be 2-D")
+    if A1.shape[0] != S.shape[0]:
+        raise ValueError(f"A1 rows {A1.shape[0]} != S rows {S.shape[0]}")
+    if A2T.shape[0] != S.shape[1]:
+        raise ValueError(f"A2T rows {A2T.shape[0]} != S cols {S.shape[1]}")
+    if A1.shape[1] != A2T.shape[1]:
+        raise ValueError(
+            f"feature dims differ: A1 K={A1.shape[1]}, A2T K={A2T.shape[1]}"
+        )
+    return A1, A2T

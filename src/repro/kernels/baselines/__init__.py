@@ -1,0 +1,34 @@
+"""Baseline kernel models: the open-source and literature kernels the
+paper compares against (Section IV-A2)."""
+
+from .aspt import ASpTSpMM, dense_fraction
+from .blocked_ell import BlockedEllSpMM, blocked_ell_preprocess_s
+from .dgl_sddmm import DGLSDDMM
+from .gespmm import GESpMM, GESPMM_PROFILE
+from .huang import HuangNGSpMM, neighbor_group_degrees
+from .mergepath import MergePathSpMM
+from .node_parallel import NodeParallelProfile, build_node_parallel_workload
+from .rowsplit import RowSplitSpMM, ROWSPLIT_PROFILE
+from .sputnik import SputnikSpMM, SPUTNIK_PROFILE
+from .tcgnn import TCGNNSpMM, nonempty_tiles
+
+__all__ = [
+    "ASpTSpMM",
+    "dense_fraction",
+    "BlockedEllSpMM",
+    "blocked_ell_preprocess_s",
+    "DGLSDDMM",
+    "GESpMM",
+    "GESPMM_PROFILE",
+    "HuangNGSpMM",
+    "neighbor_group_degrees",
+    "MergePathSpMM",
+    "NodeParallelProfile",
+    "build_node_parallel_workload",
+    "RowSplitSpMM",
+    "ROWSPLIT_PROFILE",
+    "SputnikSpMM",
+    "SPUTNIK_PROFILE",
+    "TCGNNSpMM",
+    "nonempty_tiles",
+]

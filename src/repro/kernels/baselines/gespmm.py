@@ -1,0 +1,53 @@
+"""GE-SpMM baseline (Huang et al., SC'20) — node-parallel with shared-
+memory sparse staging and coarsening factor 2.
+
+GE-SpMM assigns one warp per CSR row per 64-feature chunk (Coarsening
+factor 2: each thread keeps two accumulators so a warp covers 64
+features).  Sparse column/value data is staged through shared memory in
+coalesced 32-element tiles, which is its main advantage over plain
+row-split.  It remains node-parallel, so skewed degree distributions
+produce load imbalance — the paper's Fig. 12 sensitivity study measures
+HP-SpMM's speedup over GE-SpMM as a function of degree variance.
+"""
+
+from __future__ import annotations
+
+
+from ...gpusim import CostParams, DeviceSpec, simulate_launch
+from ...formats import HybridMatrix
+from ..api import SpMMKernel, register_spmm
+from .node_parallel import NodeParallelProfile, build_node_parallel_workload
+
+#: GE-SpMM stages col/val tiles via shared memory: 2 coalesced arrays,
+#: 8 bytes per nonzero => 0.25 sectors, ~2 instructions per 32 elements.
+GESPMM_PROFILE = NodeParallelProfile(
+    features_per_warp=64,          # coarsening factor 2 (CF=2)
+    vector_width=1,                # scalar loads (no float2/float4)
+    sparse_instr_per_nnz=0.5,      # amortized cooperative tile loads
+    sparse_sectors_per_nnz=0.25,   # coalesced col+val
+    misaligned_dense=False,
+    row_overhead_instr=12.0,
+    warps_per_block=8,
+    registers_per_thread=32,
+    shared_mem_per_block=8 * 32 * 8,  # one 32-elem col+val tile per warp
+)
+
+
+@register_spmm
+class GESpMM(SpMMKernel):
+    """GE-SpMM as published: CSR, warp-per-row, smem staging, CF=2."""
+
+    name = "ge-spmm"
+
+    def __init__(self, profile: NodeParallelProfile = GESPMM_PROFILE) -> None:
+        self.profile = profile
+
+    def _estimate(
+        self,
+        S: HybridMatrix,
+        k: int,
+        device: DeviceSpec,
+        cost: CostParams,
+    ) -> tuple:
+        work, config = build_node_parallel_workload(S, k, self.profile, device)
+        return simulate_launch(device, work, config, cost), 0.0

@@ -1,0 +1,51 @@
+"""Row-split baseline (Yang et al., Euro-Par'18 / GraphBLAST).
+
+The classic node-parallel SpMM: one warp walks one whole CSR row across
+the full feature dimension.  Sparse indices are read per element with
+broadcast loads (no shared-memory staging), so each nonzero costs a full
+32-byte sector per index array; there is no feature-dimension splitting,
+so a single heavy row keeps one warp busy for its entire length — the
+worst imbalance profile among the paper's baselines (Table III reports
+the largest average speedup, 10.85x, against it).
+"""
+
+from __future__ import annotations
+
+
+from ...gpusim import CostParams, DeviceSpec, simulate_launch
+from ...formats import HybridMatrix
+from ..api import SpMMKernel, register_spmm
+from .node_parallel import NodeParallelProfile, build_node_parallel_workload
+
+ROWSPLIT_PROFILE = NodeParallelProfile(
+    features_per_warp=1 << 30,     # whole K handled by one warp
+    vector_width=1,
+    sparse_instr_per_nnz=3.0,      # per-element col + val broadcast loads
+    sparse_sectors_per_nnz=2.0,    # one sector per 4-byte broadcast load
+    misaligned_dense=True,         # row starts carry no alignment guarantee
+    row_overhead_instr=8.0,
+    warps_per_block=8,
+    registers_per_thread=32,
+    shared_mem_per_block=0,
+    dense_traffic_factor=1.2,
+)
+
+
+@register_spmm
+class RowSplitSpMM(SpMMKernel):
+    """GraphBLAST row-split: CSR, warp-per-row, scalar loads, full K."""
+
+    name = "row-split"
+
+    def __init__(self, profile: NodeParallelProfile = ROWSPLIT_PROFILE) -> None:
+        self.profile = profile
+
+    def _estimate(
+        self,
+        S: HybridMatrix,
+        k: int,
+        device: DeviceSpec,
+        cost: CostParams,
+    ) -> tuple:
+        work, config = build_node_parallel_workload(S, k, self.profile, device)
+        return simulate_launch(device, work, config, cost), 0.0

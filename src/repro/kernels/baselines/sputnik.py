@@ -1,0 +1,60 @@
+"""Sputnik baseline (Gale et al., SC'20) — sorted row-parallel 1-D tiling.
+
+Sputnik targets moderately-sparse deep-learning matrices.  It sorts rows
+by length as a *preprocessing* pass (alleviating imbalance: similar-size
+rows land in the same block, so a block's slot time matches its average
+row), uses vectorized loads with reverse-offset alignment, and 1-D tiles
+along the row.  Its weakness on GNN graphs is per-row tile bookkeeping
+overhead on the many short rows of power-law graphs; its preprocessing
+must be re-run whenever the graph changes, which graph-sampling training
+does every iteration (paper Table IV / Section IV-C).
+"""
+
+from __future__ import annotations
+
+
+from ...gpusim import CostParams, DeviceSpec, simulate_launch
+from ...formats import HybridMatrix
+from ..api import SpMMKernel, register_spmm
+from ..preproc import DEFAULT_HOST, HostCostParams, sputnik_preprocess_s
+from .node_parallel import NodeParallelProfile, build_node_parallel_workload
+
+SPUTNIK_PROFILE = NodeParallelProfile(
+    features_per_warp=64,
+    vector_width=4,                # float4 / reverse-offset alignment
+    sparse_instr_per_nnz=0.4,
+    sparse_sectors_per_nnz=0.25,
+    misaligned_dense=False,
+    row_overhead_instr=28.0,       # 1-D tile setup dominates short rows
+    warps_per_block=8,
+    registers_per_thread=48,       # wide vector accumulators
+    shared_mem_per_block=8 * 32 * 8,
+    sorted_rows=True,
+    dense_traffic_factor=1.05,
+)
+
+
+@register_spmm
+class SputnikSpMM(SpMMKernel):
+    """Sputnik: row-length sorting (preprocessing) + vectorized 1-D tiles."""
+
+    name = "sputnik"
+
+    def __init__(
+        self,
+        profile: NodeParallelProfile = SPUTNIK_PROFILE,
+        host: HostCostParams = DEFAULT_HOST,
+    ) -> None:
+        self.profile = profile
+        self.host = host
+
+    def _estimate(
+        self,
+        S: HybridMatrix,
+        k: int,
+        device: DeviceSpec,
+        cost: CostParams,
+    ) -> tuple:
+        work, config = build_node_parallel_workload(S, k, self.profile, device)
+        stats = simulate_launch(device, work, config, cost)
+        return stats, sputnik_preprocess_s(S, self.host)

@@ -1,0 +1,139 @@
+"""Shared helpers for kernel cost models.
+
+These functions translate a sparse matrix plus a task-partition strategy
+into the per-warp quantities (instruction counts, memory sectors, row
+switches) that :func:`repro.gpusim.simulate_launch` consumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats import HybridMatrix
+from ..gpusim import DeviceSpec, FootprintCacheModel
+
+
+def warp_slice_starts(nnz: int, nnz_per_warp: int) -> np.ndarray:
+    """Start offsets of each warp's nnz slice; length = number of warps."""
+    if nnz_per_warp <= 0:
+        raise ValueError("nnz_per_warp must be positive")
+    num_warps = max(1, -(-nnz // nnz_per_warp)) if nnz else 0
+    return np.arange(num_warps, dtype=np.int64) * nnz_per_warp
+
+
+def per_warp_nnz(nnz: int, nnz_per_warp: int) -> np.ndarray:
+    """Nonzeros assigned to each warp under an equal-nnz partition."""
+    starts = warp_slice_starts(nnz, nnz_per_warp)
+    if starts.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    ends = np.minimum(starts + nnz_per_warp, nnz)
+    return ends - starts
+
+
+def row_segments_per_slice(row: np.ndarray, starts: np.ndarray, nnz_per_warp: int) -> np.ndarray:
+    """Distinct row segments each warp's slice touches (row-switch count + 1).
+
+    For the hybrid format ``row`` is non-decreasing, so the number of
+    distinct rows inside a slice is ``1 + (# boundaries with a row change
+    strictly inside the slice)``.  Each segment triggers one row-switch
+    store in HP-SpMM / one A1 reload in HP-SDDMM.
+    """
+    nnz = row.size
+    if starts.size == 0 or nnz == 0:
+        return np.zeros(starts.size, dtype=np.int64)
+    change = np.empty(nnz, dtype=np.int64)
+    change[0] = 0
+    change[1:] = (row[1:] != row[:-1]).astype(np.int64)
+    csum = np.concatenate(([0], np.cumsum(change)))
+    ends = np.minimum(starts + nnz_per_warp, nnz)
+    # Changes strictly inside (start, end): csum[end] - csum[start+1] counts
+    # boundaries at positions start+1 .. end-1 ... boundary at position i
+    # means row[i] != row[i-1]; internal boundaries are i in [start+1, end-1].
+    internal = csum[ends] - csum[np.minimum(starts + 1, nnz)]
+    lengths = ends - starts
+    return np.where(lengths > 0, internal + 1, 0)
+
+
+#: Fraction of L2 effectively available to operand-row reuse; the rest is
+#: polluted by the streaming sparse arrays and the output write traffic.
+L2_EFFECTIVE_FRACTION = 0.5
+
+#: Memo for hit-rate estimates: the footprint sampling is the expensive
+#: part of a cost-model evaluation and identical across kernels that scan
+#: the same matrix, so the cache pays off heavily in benchmark sweeps.
+_HIT_RATE_CACHE: dict = {}
+_HIT_RATE_CACHE_MAX = 512
+
+
+def _stream_fingerprint(stream: np.ndarray) -> tuple:
+    """Cheap, content-sensitive fingerprint of an access stream."""
+    step = max(1, stream.size // 64)
+    sample = np.ascontiguousarray(stream[::step][:65])
+    head = int(stream[: min(4096, stream.size)].sum())
+    return (stream.size, sample.tobytes(), head)
+
+
+def estimate_hit_rate(
+    col_stream: np.ndarray,
+    bytes_per_item: float,
+    device: DeviceSpec,
+    *,
+    concurrent_warps: int = 0,
+    seed: int = 0,
+) -> float:
+    """L2 hit rate for a stream of dense-matrix row accesses.
+
+    All concurrent warps read the *same* operand matrix, so their
+    interleaved streams share reuse; the access stream in nonzero order is
+    therefore a faithful proxy regardless of warp count
+    (``concurrent_warps`` is accepted for interface stability but does not
+    change the estimate).  A fixed :data:`L2_EFFECTIVE_FRACTION` accounts
+    for cache pollution by sparse-array streaming and output writes.
+    """
+    del concurrent_warps  # see docstring
+    stream = np.asarray(col_stream)
+    if stream.size == 0:
+        return 0.0
+    key = (
+        _stream_fingerprint(stream),
+        float(bytes_per_item),
+        device.l2_cache_bytes,
+        seed,
+    )
+    if key in _HIT_RATE_CACHE:
+        return _HIT_RATE_CACHE[key]
+    model = FootprintCacheModel(
+        capacity_bytes=int(device.l2_cache_bytes * L2_EFFECTIVE_FRACTION),
+        bytes_per_item=bytes_per_item,
+        seed=seed,
+    )
+    rate = model.hit_rate(stream)
+    if len(_HIT_RATE_CACHE) >= _HIT_RATE_CACHE_MAX:
+        _HIT_RATE_CACHE.clear()
+    _HIT_RATE_CACHE[key] = rate
+    return rate
+
+
+def split_by_hit_rate(
+    sectors: np.ndarray, hit_rate: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split per-warp sector counts into (L2-hit, DRAM) parts."""
+    hit_rate = float(np.clip(hit_rate, 0.0, 1.0))
+    l2 = sectors * hit_rate
+    dram = sectors * (1.0 - hit_rate)
+    return l2, dram
+
+
+def rows_to_warp_degrees(S: HybridMatrix) -> np.ndarray:
+    """Per-warp nnz for node-parallel kernels (one warp per matrix row)."""
+    return S.row_degrees().astype(np.float64)
+
+
+def dense_row_alignment(k: int, sector_bytes: int = 32) -> bool:
+    """Whether every row of a row-major (N, K) fp32 matrix is sector-aligned."""
+    return (k * 4) % sector_bytes == 0
+
+
+def output_write_sectors(k: int, sector_bytes: int = 32) -> float:
+    """Sectors written when storing one K-float output row."""
+    return float(-(-k * 4 // sector_bytes))

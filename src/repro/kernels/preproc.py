@@ -1,0 +1,99 @@
+"""Host-side preprocessing cost models (paper Table IV).
+
+The preprocess-based baselines (merge-path, Sputnik, ASpT, Huang's
+neighbor grouping) pay a host/device preparation pass before their kernel
+can run.  The paper measures these on the authors' C++/CUDA
+implementations; re-measuring a Python reimplementation's wall-clock
+would report interpreter overhead rather than algorithmic cost, so we
+model each pass analytically with per-operation constants calibrated to
+the magnitudes of paper Table IV.  The *shape* that matters — ASpT /
+Sputnik / Huang preprocessing dwarfing kernel execution, merge-path's
+binary search being cheap — is determined by the algorithmic term, not
+the constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..formats import HybridMatrix
+
+
+@dataclass(frozen=True)
+class HostCostParams:
+    """Seconds-per-operation constants for host preprocessing passes."""
+
+    #: Comparison-sort cost per element per log2(n) (std::sort-like).
+    sort_per_elem_log: float = 3.0e-9
+    #: Linear pass over an array, per element.
+    pass_per_elem: float = 1.0e-9
+    #: One binary search over the row pointer.
+    binary_search: float = 12.0e-9
+    #: Fixed allocation / kernel-setup overhead per preprocessing stage.
+    fixed_overhead: float = 50.0e-6
+    #: ASpT adaptive-tiling analysis cost per nonzero (multi-pass + hash).
+    aspt_per_nnz: float = 2.2e-9
+    #: ASpT per-row panel bookkeeping.
+    aspt_per_row: float = 5.0e-9
+    #: Neighbor-grouping cost per nonzero (scan + scatter + allocation).
+    huang_per_nnz: float = 7.0e-9
+    #: Neighbor-grouping per-row tile bookkeeping.
+    huang_per_row: float = 20.0e-9
+
+
+DEFAULT_HOST = HostCostParams()
+
+
+def mergepath_preprocess_s(
+    S: HybridMatrix, items_per_partition: int = 256, host: HostCostParams = DEFAULT_HOST
+) -> float:
+    """Merge-path: one binary search per partition over the row pointer.
+
+    The merge list has ``NNZ + M`` items; each of the ``P`` partitions
+    performs a ``log2(M)`` search, and a P-length row-index array is
+    written.
+    """
+    m = max(1, S.shape[0])
+    items = S.nnz + m
+    partitions = max(1, -(-items // items_per_partition))
+    searches = partitions * max(1.0, np.log2(m))
+    return float(
+        searches * host.binary_search
+        + partitions * host.pass_per_elem
+        + host.fixed_overhead
+    )
+
+
+def sputnik_preprocess_s(S: HybridMatrix, host: HostCostParams = DEFAULT_HOST) -> float:
+    """Sputnik: sort rows by length, emit the swizzle, regather nnz data.
+
+    Besides the O(M log M) sort, the sparse arrays are rewritten in the
+    sorted row order (an O(NNZ) gather) so the kernel reads contiguous
+    tiles.
+    """
+    m = max(2, S.shape[0])
+    return float(
+        m * np.log2(m) * host.sort_per_elem_log
+        + (m + 2 * S.nnz) * host.pass_per_elem
+        + host.fixed_overhead
+    )
+
+
+def aspt_preprocess_s(S: HybridMatrix, host: HostCostParams = DEFAULT_HOST) -> float:
+    """ASpT: adaptive tiling — reorder columns, split dense/sparse parts."""
+    return float(
+        S.nnz * host.aspt_per_nnz
+        + S.shape[0] * host.aspt_per_row
+        + host.fixed_overhead
+    )
+
+
+def huang_preprocess_s(S: HybridMatrix, host: HostCostParams = DEFAULT_HOST) -> float:
+    """Huang's neighbor grouping: split long rows into fixed-size tiles."""
+    return float(
+        S.nnz * host.huang_per_nnz
+        + S.shape[0] * host.huang_per_row
+        + host.fixed_overhead
+    )

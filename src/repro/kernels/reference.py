@@ -1,0 +1,111 @@
+"""Golden-reference numerics for SpMM and SDDMM (paper Algorithms 1-2).
+
+These are chunked, fully-vectorized NumPy implementations of the
+sequential reference algorithms.  Every kernel in the library delegates
+its numerical result here (all modeled kernels compute the identical sum,
+only their execution schedule differs), and the test-suite additionally
+cross-checks against ``scipy.sparse``.
+
+Chunking keeps peak temporary memory at ``CHUNK_ELEMS`` floats regardless
+of ``nnz * K``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats import HybridMatrix
+
+#: Upper bound on the ``nnz_chunk * K`` temporary used per chunk (~64 MB fp32).
+CHUNK_ELEMS = 16 * 1024 * 1024
+
+
+def _chunk_bounds(indptr: np.ndarray, max_nnz: int) -> list[tuple[int, int]]:
+    """Split rows into contiguous chunks of at most ``max_nnz`` nonzeros.
+
+    Chunk boundaries always fall on row boundaries so reduceat segments
+    never straddle chunks.  A single row larger than ``max_nnz`` becomes
+    its own chunk.
+    """
+    bounds: list[tuple[int, int]] = []
+    m = indptr.size - 1
+    start_row = 0
+    while start_row < m:
+        start_nnz = int(indptr[start_row])
+        # Furthest row whose end stays within budget.
+        end_row = int(
+            np.searchsorted(indptr, start_nnz + max_nnz, side="right") - 1
+        )
+        if end_row <= start_row:
+            end_row = start_row + 1
+        bounds.append((start_row, end_row))
+        start_row = end_row
+    return bounds
+
+
+def spmm_reference(S: HybridMatrix, A: np.ndarray) -> np.ndarray:
+    """Compute ``O = S @ A`` (paper Algorithm 1) with exact FP32 semantics.
+
+    Rows are processed in chunks; within a chunk, per-row segments are
+    reduced with ``np.add.reduceat`` over the gathered/scaled operand rows.
+    """
+    A = np.asarray(A, dtype=np.float32)
+    m = S.shape[0]
+    k = A.shape[1]
+    out = np.zeros((m, k), dtype=np.float32)
+    if S.nnz == 0 or k == 0:
+        return out
+    indptr = S.indptr()
+    max_nnz = max(1, CHUNK_ELEMS // max(1, k))
+    for row_lo, row_hi in _chunk_bounds(indptr, max_nnz):
+        lo, hi = int(indptr[row_lo]), int(indptr[row_hi])
+        if lo == hi:
+            continue
+        gathered = A[S.col[lo:hi]] * S.val[lo:hi, None]
+        # One reduceat segment per *nonempty* row: their start offsets are
+        # strictly increasing and always in-bounds, which empty rows'
+        # repeated/past-the-end offsets are not.
+        lengths = np.diff(indptr[row_lo : row_hi + 1])
+        nonempty = lengths > 0
+        seg_starts = (indptr[row_lo:row_hi][nonempty] - lo).astype(np.int64)
+        sums = np.add.reduceat(gathered, seg_starts, axis=0)
+        out[row_lo:row_hi][nonempty] = sums
+    return out
+
+
+def sddmm_reference(
+    S: HybridMatrix, A1: np.ndarray, A2T: np.ndarray
+) -> np.ndarray:
+    """Compute ``S_O.val`` for ``S_O = (A1 @ A2) ⊙ S`` (paper Algorithm 2).
+
+    ``A2T`` is the transposed second operand, shape ``(N, K)``.  Returns
+    the nnz-length value array in ``S``'s element order.
+    """
+    A1 = np.asarray(A1, dtype=np.float32)
+    A2T = np.asarray(A2T, dtype=np.float32)
+    nnz = S.nnz
+    k = A1.shape[1]
+    out = np.empty(nnz, dtype=np.float32)
+    if nnz == 0:
+        return out
+    step = max(1, CHUNK_ELEMS // max(1, k))
+    for lo in range(0, nnz, step):
+        hi = min(nnz, lo + step)
+        dots = np.einsum(
+            "ij,ij->i",
+            A1[S.row[lo:hi]],
+            A2T[S.col[lo:hi]],
+            dtype=np.float32,
+        )
+        out[lo:hi] = dots * S.val[lo:hi]
+    return out
+
+
+def spmm_flops(S: HybridMatrix, k: int) -> float:
+    """FLOP count of one SpMM (2 per nonzero per feature)."""
+    return 2.0 * S.nnz * k
+
+
+def sddmm_flops(S: HybridMatrix, k: int) -> float:
+    """FLOP count of one SDDMM (2 per nonzero per feature + final scale)."""
+    return 2.0 * S.nnz * k + S.nnz

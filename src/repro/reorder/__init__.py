@@ -1,0 +1,44 @@
+"""Graph reordering for data locality: GCR (paper Section III-C) and the
+competitor methods of Section IV-D."""
+
+from .base import (
+    DegreeSortReorderer,
+    IdentityReorderer,
+    Reorderer,
+    ReorderResult,
+    validate_permutation,
+)
+from .louvain import GCRReorderer, louvain_communities, modularity
+from .lsh import LSHReorderer, estimated_jaccard, minhash_signatures
+from .pairmerge import PairMergeReorderer
+from .rcm import RCMReorderer
+
+#: Registry used by the benchmark harness.
+REORDERERS = {
+    cls.name: cls
+    for cls in (
+        IdentityReorderer,
+        DegreeSortReorderer,
+        GCRReorderer,
+        LSHReorderer,
+        PairMergeReorderer,
+        RCMReorderer,
+    )
+}
+
+__all__ = [
+    "DegreeSortReorderer",
+    "IdentityReorderer",
+    "Reorderer",
+    "ReorderResult",
+    "validate_permutation",
+    "GCRReorderer",
+    "louvain_communities",
+    "modularity",
+    "LSHReorderer",
+    "estimated_jaccard",
+    "minhash_signatures",
+    "PairMergeReorderer",
+    "RCMReorderer",
+    "REORDERERS",
+]

@@ -1,0 +1,65 @@
+"""Greedy pair-merging reordering — the [11]-style competitor.
+
+The paper notes (Section III-C, IV-D) that pair merging clusters similar
+rows well but "is very time-consuming on larger graphs and difficult to
+execute in parallel": the algorithm repeatedly merges the most similar
+pair of row groups, which is inherently quadratic.  Section IV-D reports
+more than 120 minutes on `proteins` versus GCR's 4.6 s.  This is an
+honest implementation of that algorithm (agglomerative, Jaccard-scored,
+greedy) so the efficiency comparison can be reproduced on the scaled
+graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats import HybridMatrix
+from .base import Reorderer
+from .lsh import exact_jaccard
+
+
+class PairMergeReorderer(Reorderer):
+    """Agglomerative pair merging on Jaccard similarity (quadratic)."""
+
+    name = "pair-merge"
+
+    def __init__(self, *, num_hashes: int = 8, seed: int = 0) -> None:
+        self.num_hashes = num_hashes
+        self.seed = seed
+
+    def permutation(self, S: HybridMatrix) -> np.ndarray:
+        m = S.shape[0]
+        if m <= 2:
+            return np.arange(m, dtype=np.int64)
+        indptr = S.indptr()
+        cols = S.col
+
+        def neighbors(u: int) -> np.ndarray:
+            return cols[indptr[u] : indptr[u + 1]]
+
+        # Greedy chaining formulation of pair merging: start from the
+        # densest row, repeatedly append the unvisited row with the
+        # highest *exact* Jaccard similarity to the current chain tail.
+        # Every step scans all remaining rows and intersects neighbor
+        # sets — the O(n^2 * d) work that makes the method impractical on
+        # large graphs (paper Section IV-D: > 120 minutes on proteins).
+        deg = S.row_degrees()
+        current = int(np.argmax(deg))
+        order = np.empty(m, dtype=np.int64)
+        remaining = np.arange(m, dtype=np.int64)
+        for i in range(m):
+            order[i] = current
+            remaining = remaining[remaining != current]
+            if remaining.size == 0:
+                break
+            tail_n = neighbors(current)
+            best_sim = -1.0
+            best = int(remaining[0])
+            for v in remaining:
+                sim = exact_jaccard(tail_n, neighbors(int(v)))
+                if sim > best_sim:
+                    best_sim = sim
+                    best = int(v)
+            current = best
+        return order

@@ -1,0 +1,36 @@
+"""Task-partition tuning: Dynamic Task Partition + Hierarchical
+Vectorized Memory Access (paper Section III-B)."""
+
+from .dtp import (
+    DEFAULT_ALPHA,
+    DEFAULT_WARPS_PER_BLOCK,
+    HP_REGISTERS_PER_THREAD,
+    HP_SMEM_PER_WARP,
+    TaskPartition,
+    fixed_partition,
+    select_partition,
+)
+from .hvma import (
+    CANDIDATE_NNZ_PER_WARP,
+    feature_groups,
+    hvma_vector_width,
+    is_candidate_aligned,
+    naive_nnz_per_warp,
+    sparse_vector_width,
+)
+
+__all__ = [
+    "DEFAULT_ALPHA",
+    "DEFAULT_WARPS_PER_BLOCK",
+    "HP_REGISTERS_PER_THREAD",
+    "HP_SMEM_PER_WARP",
+    "TaskPartition",
+    "fixed_partition",
+    "select_partition",
+    "CANDIDATE_NNZ_PER_WARP",
+    "feature_groups",
+    "hvma_vector_width",
+    "is_candidate_aligned",
+    "naive_nnz_per_warp",
+    "sparse_vector_width",
+]

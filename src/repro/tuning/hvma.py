@@ -1,0 +1,80 @@
+"""Hierarchical Vectorized Memory Access (paper Section III-B2, Fig. 7).
+
+HVMA makes sparse- and dense-data accesses aligned and vectorized by
+restricting ``NnzPerWarp`` to a candidate set whose members guarantee
+sector-aligned warp slice boundaries, and by selecting the vector width
+(``float``/``float2``/``float4``) that the chosen ``NnzPerWarp`` and the
+feature dimension ``K`` permit:
+
+* ``NnzPerWarp >= 128`` → ``int4``/``float4`` instructions,
+* ``NnzPerWarp >= 64``  → ``int2``/``float2``,
+* otherwise scalar loads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The paper's candidate set for NnzPerWarp (Section III-B2).
+CANDIDATE_NNZ_PER_WARP: tuple[int, ...] = (8, 32, 64, 128, 256, 512)
+
+
+def hvma_vector_width(nnz_per_warp: int, k: int) -> int:
+    """Vector width (elements/thread/instruction) HVMA selects.
+
+    The width is capped by the paper's NnzPerWarp rule and by ``K``'s
+    divisibility: a warp-wide vector load covers ``32 * width`` elements,
+    which must divide into the row length to keep accesses aligned.
+    """
+    if nnz_per_warp >= 128:
+        width = 4
+    elif nnz_per_warp >= 64:
+        width = 2
+    else:
+        width = 1
+    while width > 1 and k % (32 * width) != 0:
+        width //= 2
+    return width
+
+
+def feature_groups(k: int, vector_width: int) -> int:
+    """Warps needed along the feature dimension (Ineq. 5's K term).
+
+    Each warp covers ``WarpSize * VectorWidth`` features; K larger than
+    that is split over multiple warps per nnz slice.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    return -(-k // (32 * vector_width))
+
+
+def is_candidate_aligned(nnz_per_warp: int, sector_bytes: int = 32) -> bool:
+    """Whether warp slice starts are sector-aligned for 4-byte elements.
+
+    ``warp_start = warp_id * NnzPerWarp``; its byte address in each sparse
+    array is ``warp_start * 4``, aligned iff NnzPerWarp is a multiple of
+    ``sector_bytes / 4``.  All candidate-set members satisfy this.
+    """
+    return (nnz_per_warp * 4) % sector_bytes == 0
+
+
+def sparse_vector_width(nnz_per_warp: int) -> int:
+    """Vector width for loading the sparse tile arrays themselves."""
+    if not is_candidate_aligned(nnz_per_warp):
+        return 1
+    if nnz_per_warp >= 128:
+        return 4
+    if nnz_per_warp >= 64:
+        return 2
+    return 1
+
+
+def naive_nnz_per_warp(nnz: int, m: int) -> int:
+    """The pre-DTP heuristic ``NnzPerWarp = NNZ / M`` (paper Section III-B1).
+
+    This is what the ablation's "base" configuration uses; it generally
+    falls outside the candidate set, so accesses are unaligned and scalar.
+    """
+    if m <= 0:
+        return max(1, nnz)
+    return max(1, int(np.ceil(nnz / m)))

@@ -1,0 +1,84 @@
+"""Shared fixtures: small deterministic matrices and graphs.
+
+Tests force a small edge cap for registry graphs (REPRO_MAX_EDGES) so
+the calibrated datasets generate in well under a second each.
+"""
+
+import os
+
+os.environ.setdefault("REPRO_MAX_EDGES", "60000")
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.formats import COOMatrix, CSRMatrix, HybridMatrix
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+def random_hybrid(m, n, nnz, seed=0, values=True) -> HybridMatrix:
+    """A random hybrid CSR/COO matrix with exactly-ish nnz entries."""
+    r = np.random.default_rng(seed)
+    density = min(1.0, nnz / max(1, m * n))
+    mat = sp.random(
+        m, n, density=density, random_state=np.random.RandomState(seed),
+        format="csr", dtype=np.float32,
+        data_rvs=(None if values else (lambda k: np.ones(k, dtype=np.float32))),
+    )
+    return HybridMatrix.from_scipy(mat)
+
+
+@pytest.fixture(scope="session")
+def small_matrix() -> HybridMatrix:
+    """A 200x200 sparse matrix with ~2000 nonzeros."""
+    return random_hybrid(200, 200, 2000, seed=1)
+
+
+@pytest.fixture(scope="session")
+def medium_matrix() -> HybridMatrix:
+    """A 3000x3000 sparse matrix with ~40k nonzeros."""
+    return random_hybrid(3000, 3000, 40_000, seed=2)
+
+
+@pytest.fixture(scope="session")
+def skewed_matrix() -> HybridMatrix:
+    """A matrix with one enormous row (load-imbalance stressor)."""
+    r = np.random.default_rng(3)
+    n = 2000
+    # 1500 nnz spread thin + 1200 nnz in row 0.
+    rows = np.concatenate([
+        np.zeros(1200, dtype=np.int64),
+        r.integers(1, n, size=1500),
+    ])
+    cols = r.integers(0, n, size=rows.size)
+    coo = COOMatrix.from_arrays(rows, cols, None, shape=(n, n))
+    return HybridMatrix.from_coo(coo)
+
+
+@pytest.fixture(scope="session")
+def paper_fig2_matrix() -> HybridMatrix:
+    """The exact 4x4 example of paper Fig. 2 (values a..g)."""
+    dense = np.array(
+        [
+            [1, 0, 2, 0],
+            [0, 0, 3, 0],
+            [4, 5, 0, 6],
+            [0, 0, 7, 0],
+        ],
+        dtype=np.float32,
+    )
+    return HybridMatrix.from_scipy(sp.csr_matrix(dense))
+
+
+@pytest.fixture
+def features(rng):
+    def make(n, k, seed=0):
+        return np.random.default_rng(seed).standard_normal((n, k)).astype(
+            np.float32
+        )
+
+    return make

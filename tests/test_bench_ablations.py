@@ -1,0 +1,52 @@
+"""Design-choice ablation sweeps (small-scale unit coverage)."""
+
+import pytest
+
+from repro.bench.ablations import (
+    run_design_ablations,
+    sweep_alpha,
+    sweep_l2_capacity,
+    sweep_nnz_per_warp,
+    sweep_warps_per_block,
+)
+
+SMALL = 40_000
+
+
+def test_nnz_per_warp_sweep_structure():
+    res = sweep_nnz_per_warp("corafull", max_edges=SMALL)
+    assert res.values == [8, 32, 64, 128, 256, 512]
+    assert len(res.times_us) == 6
+    assert res.chosen in res.values
+    assert res.best() in res.values
+    assert res.regret() >= 1.0
+    assert "NnzPerWarp" in res.render()
+
+
+def test_alpha_sweep_monotone_domain():
+    res = sweep_alpha("corafull", max_edges=SMALL)
+    assert res.chosen == 4.0
+    assert all(t > 0 for t in res.times_us)
+
+
+def test_warps_per_block_sweep():
+    res = sweep_warps_per_block("corafull", max_edges=SMALL)
+    assert res.values == [2, 4, 8, 16]
+    assert res.regret() < 3.0
+
+
+def test_run_design_ablations_bundle():
+    out = run_design_ablations(graphs=("corafull",), max_edges=SMALL)
+    assert len(out) == 3
+    names = {r.name for r in out}
+    assert names == {"NnzPerWarp", "alpha", "WarpsPerBlock"}
+
+
+def test_l2_capacity_sweep_gcr_gain_shrinks():
+    res = sweep_l2_capacity("corafull", k=128, max_edges=SMALL,
+                            capacities_mb=(0.5, 2.0, 64.0))
+    gains = res.times_us  # speedups here
+    # With an enormous L2 everything is cached: GCR gain ~ 1.0;
+    # with a tiny L2 the reordering matters more.
+    assert gains[0] >= gains[-1] - 0.05
+    assert gains[-1] == pytest.approx(1.0, abs=0.1)

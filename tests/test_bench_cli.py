@@ -1,0 +1,32 @@
+"""The ``python -m repro.bench`` command-line interface."""
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+def test_list_prints_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("fig9", "table3", "table5", "reorder", "ablations", "table2"):
+        assert name in out
+
+
+def test_unknown_experiment_errors():
+    with pytest.raises(SystemExit):
+        main(["definitely-not-an-experiment"])
+
+
+def test_run_single_experiment(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    assert main(["table2", "--max-edges", "20000"]) == 0
+    out = capsys.readouterr().out
+    assert "Table II" in out
+    assert (tmp_path / "table2.txt").exists()
+
+
+def test_run_fig12_with_default_args(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    # fig12 generates its own graphs (no max-edges knob).
+    assert main(["fig12"]) == 0
+    assert "Pearson" in capsys.readouterr().out

@@ -1,0 +1,85 @@
+"""Table rendering and sweep aggregation machinery."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    KernelRun,
+    SweepResult,
+    format_speedup,
+    render_table,
+    sweep_sddmm,
+    sweep_spmm,
+    write_report,
+)
+from repro.gpusim import TESLA_V100
+
+from tests.conftest import random_hybrid
+
+
+def test_render_table_basic():
+    text = render_table(
+        ["name", "value"],
+        [["a", 1.234], ["bb", 5.6]],
+        title="Example",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "Example"
+    assert "1.23" in text
+    assert "5.60" in text
+    assert "name" in lines[2]
+
+
+def test_render_table_empty_rows():
+    text = render_table(["x"], [])
+    assert "x" in text
+
+
+def test_format_speedup():
+    assert format_speedup(1.7234) == "1.72x"
+
+
+def test_sweep_result_speedups():
+    sweep = SweepResult(device="d", k=64)
+    sweep.runs = [
+        KernelRun("g1", "ours", 1.0, 0.0, 0.0),
+        KernelRun("g1", "base", 2.0, 0.0, 0.0),
+        KernelRun("g2", "ours", 1.0, 0.0, 0.0),
+        KernelRun("g2", "base", 0.5, 0.0, 0.0),
+    ]
+    s = sweep.speedups_vs("ours", "base")
+    np.testing.assert_allclose(sorted(s), [0.5, 2.0])
+    avg, pct = sweep.summary_vs("ours", "base")
+    assert avg == pytest.approx(1.25)
+    assert pct == pytest.approx(50.0)
+
+
+def test_sweep_result_empty_summary():
+    sweep = SweepResult(device="d", k=64)
+    avg, pct = sweep.summary_vs("a", "b")
+    assert np.isnan(avg)
+
+
+def test_sweep_spmm_runs_all_kernels():
+    S = random_hybrid(300, 300, 3000, seed=30)
+    sweep = sweep_spmm(
+        [("g", S)], ("hp-spmm", "ge-spmm"), k=32, device=TESLA_V100
+    )
+    assert len(sweep.runs) == 2
+    assert set(r.kernel for r in sweep.runs) == {"hp-spmm", "ge-spmm"}
+    assert all(r.time_s > 0 for r in sweep.runs)
+
+
+def test_sweep_sddmm_runs():
+    S = random_hybrid(300, 300, 3000, seed=31)
+    sweep = sweep_sddmm(
+        [("g", S)], ("hp-sddmm", "dgl-sddmm"), k=32, device=TESLA_V100
+    )
+    assert len(sweep.runs) == 2
+
+
+def test_write_report(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    path = write_report("unit-test", "hello")
+    with open(path) as f:
+        assert f.read().strip() == "hello"

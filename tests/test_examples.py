@@ -1,0 +1,38 @@
+"""Smoke tests: every example script runs end to end.
+
+Examples run in a subprocess with a tiny edge cap so the whole module
+stays fast; each must exit 0 and print its headline section.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(os.path.dirname(__file__)), "examples")
+
+CASES = [
+    ("quickstart.py", ["corafull"], "HP-SpMM"),
+    ("kernel_comparison.py", ["corafull", "32"], "SpMM kernels on corafull"),
+    ("gcn_training.py", ["corafull", "16", "2"], "end-to-end speedup"),
+    ("graph_reordering.py", ["corafull"], "Louvain found"),
+    ("graph_sampling.py", ["corafull"], "Dynamic Task Partition"),
+    ("gat_attention.py", ["corafull"], "attention GNN"),
+    ("fusedmm_demo.py", ["corafull"], "FusedMM"),
+]
+
+
+@pytest.mark.parametrize("script,args,needle", CASES)
+def test_example_runs(script, args, needle):
+    env = dict(os.environ)
+    env["REPRO_MAX_EDGES"] = "30000"
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script), *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert needle in proc.stdout

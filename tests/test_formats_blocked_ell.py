@@ -1,0 +1,106 @@
+"""Blocked-Ellpack format and its SpMM model."""
+
+import numpy as np
+import pytest
+
+from repro.formats import (
+    BlockedEllMatrix,
+    HybridMatrix,
+    SparseFormatError,
+    blocked_ell_stats,
+)
+from repro.kernels import make_spmm, spmm_reference
+from repro.kernels.baselines import BlockedEllSpMM
+
+from tests.conftest import random_hybrid
+
+
+def test_conversion_roundtrips_dense(small_matrix):
+    bell = BlockedEllMatrix.from_hybrid(small_matrix, block_size=8)
+    np.testing.assert_allclose(bell.to_dense(), small_matrix.to_dense())
+
+
+def test_conversion_block_indices():
+    # nnz at (0,0), (0,17), (20,3): blocks (0,0), (0,1), (1,0) for bs=16.
+    S = HybridMatrix.from_arrays([0, 0, 20], [0, 17, 3], None, shape=(32, 32))
+    bell = BlockedEllMatrix.from_hybrid(S, block_size=16)
+    assert bell.num_block_rows == 2
+    assert bell.ell_width == 2
+    assert bell.stored_blocks == 3
+    assert bell.padding_ratio() == pytest.approx(0.25)
+    # Values land in the right intra-block offsets.
+    assert bell.to_dense()[0, 17] == 1.0
+    assert bell.to_dense()[20, 3] == 1.0
+
+
+def test_stats_agree_with_full_conversion(small_matrix):
+    bell = BlockedEllMatrix.from_hybrid(small_matrix, block_size=16)
+    stats = blocked_ell_stats(small_matrix, block_size=16)
+    assert stats.num_block_rows == bell.num_block_rows
+    assert stats.ell_width == bell.ell_width
+    assert stats.stored_blocks == bell.stored_blocks
+    assert stats.padding_ratio() == pytest.approx(bell.padding_ratio())
+
+
+def test_stats_cheap_on_skewed_graph(skewed_matrix):
+    # Must not allocate dense blocks: the hub row forces a huge width.
+    stats = blocked_ell_stats(skewed_matrix, block_size=16)
+    assert stats.ell_width > 10
+    assert stats.padding_ratio() > 0.5
+
+
+def test_occupancy_low_on_gnn_sparsity(medium_matrix):
+    stats = blocked_ell_stats(medium_matrix, block_size=16)
+    # ~13 nnz per 256-slot block region -> tiny occupancy.
+    assert stats.occupancy() < 0.2
+
+
+def test_empty_matrix():
+    S = HybridMatrix.from_arrays([], [], shape=(20, 20))
+    stats = blocked_ell_stats(S, 16)
+    assert stats.stored_blocks == 0
+    assert stats.padding_ratio() == 0.0
+    bell = BlockedEllMatrix.from_hybrid(S, 16)
+    assert bell.stored_blocks == 0
+
+
+def test_validates_block_size():
+    S = HybridMatrix.from_arrays([0], [0], None, shape=(4, 4))
+    with pytest.raises(SparseFormatError):
+        blocked_ell_stats(S, 0)
+    with pytest.raises(SparseFormatError):
+        BlockedEllMatrix.from_hybrid(S, -1)
+
+
+def test_memory_elements():
+    S = HybridMatrix.from_arrays([0, 0, 20], [0, 17, 3], None, shape=(32, 32))
+    bell = BlockedEllMatrix.from_hybrid(S, block_size=16)
+    # 4 padded slots x (1 index + 256 dense values).
+    assert bell.memory_elements() == 4 * 257
+
+
+# ---------------------------------------------------------------------
+# Kernel model
+# ---------------------------------------------------------------------
+def test_blocked_ell_kernel_numerics(medium_matrix, features):
+    A = features(medium_matrix.shape[1], 32, seed=42)
+    res = make_spmm("cusparse-blocked-ell").run(medium_matrix, A)
+    np.testing.assert_allclose(
+        res.output, spmm_reference(medium_matrix, A), rtol=1e-4, atol=1e-4
+    )
+    assert res.preprocessing_s > 0  # conversion charged
+
+
+def test_blocked_ell_loses_to_hp_on_sparse_graphs(medium_matrix):
+    # GNN sparsity -> massive padding -> HP-SpMM wins comfortably.
+    bell = make_spmm("cusparse-blocked-ell").estimate(medium_matrix, 64)
+    hp = make_spmm("hp-spmm").estimate(medium_matrix, 64)
+    assert bell.stats.time_s > hp.stats.time_s
+
+
+def test_blocked_ell_padding_hurts_skew(skewed_matrix):
+    t_skew = BlockedEllSpMM().estimate(skewed_matrix, 64).stats
+    # Dense work scales with padded slots, far above nnz-proportional.
+    stats = blocked_ell_stats(skewed_matrix, 16)
+    assert stats.padded_blocks > 2 * stats.stored_blocks
+    assert t_skew.time_s > 0

@@ -1,0 +1,113 @@
+"""Unit tests for the COO format."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.formats import COOMatrix, SparseFormatError
+
+
+def test_from_arrays_basic():
+    m = COOMatrix.from_arrays([0, 1, 2], [2, 1, 0], [1.0, 2.0, 3.0])
+    assert m.shape == (3, 3)
+    assert m.nnz == 3
+    assert m.val.dtype == np.float32
+    assert m.row.dtype == np.int32
+
+
+def test_from_arrays_default_values_are_ones():
+    m = COOMatrix.from_arrays([0, 0], [0, 1])
+    assert np.all(m.val == 1.0)
+
+
+def test_from_arrays_infers_shape():
+    m = COOMatrix.from_arrays([5], [7])
+    assert m.shape == (6, 8)
+
+
+def test_from_arrays_explicit_shape_validates_bounds():
+    with pytest.raises(SparseFormatError):
+        COOMatrix.from_arrays([0, 4], [0, 0], shape=(3, 3))
+
+
+def test_from_arrays_rejects_negative_indices():
+    with pytest.raises(SparseFormatError):
+        COOMatrix.from_arrays([-1], [0], shape=(2, 2))
+
+
+def test_from_arrays_rejects_length_mismatch():
+    with pytest.raises(SparseFormatError):
+        COOMatrix.from_arrays([0, 1], [0])
+    with pytest.raises(SparseFormatError):
+        COOMatrix.from_arrays([0, 1], [0, 1], [1.0])
+
+
+def test_from_arrays_rejects_2d_input():
+    with pytest.raises(SparseFormatError):
+        COOMatrix.from_arrays([[0, 1]], [[0, 1]])
+
+
+def test_from_arrays_rejects_non_integer_indices():
+    with pytest.raises(SparseFormatError):
+        COOMatrix.from_arrays([0.5], [0], shape=(2, 2))
+
+
+def test_empty_matrix():
+    m = COOMatrix.from_arrays([], [], shape=(4, 5))
+    assert m.nnz == 0
+    assert m.shape == (4, 5)
+    assert m.to_dense().shape == (4, 5)
+    assert m.is_row_sorted()
+
+
+def test_memory_elements_matches_paper_formula():
+    # Paper Section II: COO needs 3 * NNZ elements.
+    m = COOMatrix.from_arrays([0, 1, 2, 2], [1, 2, 0, 3])
+    assert m.memory_elements() == 3 * 4
+
+
+def test_sorted_by_row_orders_row_major():
+    m = COOMatrix.from_arrays([2, 0, 1, 0], [1, 3, 0, 1])
+    s = m.sorted_by_row()
+    assert s.is_row_sorted()
+    assert list(s.row) == [0, 0, 1, 2]
+    # Stable on column within a row.
+    assert list(s.col[:2]) == [1, 3]
+
+
+def test_sorted_by_row_preserves_values():
+    m = COOMatrix.from_arrays([1, 0], [0, 0], [5.0, 7.0])
+    s = m.sorted_by_row()
+    assert s.to_dense()[0, 0] == 7.0
+    assert s.to_dense()[1, 0] == 5.0
+
+
+def test_transpose_roundtrip():
+    m = COOMatrix.from_arrays([0, 2], [1, 3], [1.0, 2.0], shape=(3, 4))
+    t = m.transpose()
+    assert t.shape == (4, 3)
+    np.testing.assert_array_equal(t.to_dense(), m.to_dense().T)
+    np.testing.assert_array_equal(
+        t.transpose().to_dense(), m.to_dense()
+    )
+
+
+def test_scipy_roundtrip(small_matrix):
+    coo = small_matrix.to_coo()
+    back = COOMatrix.from_scipy(coo.to_scipy())
+    np.testing.assert_allclose(back.to_dense(), coo.to_dense())
+
+
+def test_to_dense_sums_duplicates():
+    m = COOMatrix.from_arrays([0, 0], [0, 0], [1.0, 2.0], shape=(1, 1))
+    assert m.to_dense()[0, 0] == 3.0
+
+
+def test_row_degrees():
+    m = COOMatrix.from_arrays([0, 0, 2], [1, 2, 0], shape=(4, 3))
+    np.testing.assert_array_equal(m.row_degrees(), [2, 0, 1, 0])
+
+
+def test_index_overflow_rejected():
+    with pytest.raises(SparseFormatError):
+        COOMatrix.from_arrays([2**40], [0])

@@ -1,0 +1,79 @@
+"""Unit tests for the CSR format."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.formats import CSRMatrix, SparseFormatError
+
+
+def test_from_arrays_basic():
+    m = CSRMatrix.from_arrays([0, 2, 3], [0, 2, 1], [1.0, 2.0, 3.0], shape=(2, 3))
+    assert m.shape == (2, 3)
+    assert m.nnz == 3
+    np.testing.assert_array_equal(
+        m.to_dense(), [[1, 0, 2], [0, 3, 0]]
+    )
+
+
+def test_from_arrays_validates_indptr_length():
+    with pytest.raises(SparseFormatError):
+        CSRMatrix.from_arrays([0, 1], [0], None, shape=(2, 2))
+
+
+def test_from_arrays_validates_indptr_monotone():
+    with pytest.raises(SparseFormatError):
+        CSRMatrix.from_arrays([0, 2, 1, 3], [0, 1, 0], None, shape=(3, 2))
+
+
+def test_from_arrays_validates_indptr_endpoints():
+    with pytest.raises(SparseFormatError):
+        CSRMatrix.from_arrays([1, 2, 3], [0, 1], None, shape=(2, 2))
+    with pytest.raises(SparseFormatError):
+        CSRMatrix.from_arrays([0, 1, 5], [0, 1], None, shape=(2, 2))
+
+
+def test_from_arrays_validates_column_bounds():
+    with pytest.raises(SparseFormatError):
+        CSRMatrix.from_arrays([0, 1], [9], None, shape=(1, 3))
+
+
+def test_memory_elements_matches_paper_formula():
+    # Paper Section II: CSR needs M + 1 + 2 * NNZ elements.
+    m = CSRMatrix.from_arrays([0, 1, 3], [0, 0, 1], None, shape=(2, 2))
+    assert m.memory_elements() == 2 + 1 + 2 * 3
+
+
+def test_row_degrees_and_slices():
+    m = CSRMatrix.from_arrays(
+        [0, 2, 2, 3], [1, 2, 0], [1.0, 2.0, 3.0], shape=(3, 3)
+    )
+    np.testing.assert_array_equal(m.row_degrees(), [2, 0, 1])
+    cols, vals = m.row_slice(0)
+    np.testing.assert_array_equal(cols, [1, 2])
+    np.testing.assert_array_equal(vals, [1.0, 2.0])
+    cols, vals = m.row_slice(1)
+    assert cols.size == 0
+
+
+def test_decode_row_indices_matches_fig2d():
+    # Paper Fig. 2(d): CSR decode produces the complete row-index array.
+    m = CSRMatrix.from_arrays(
+        [0, 2, 3, 6, 7], [0, 2, 2, 0, 1, 3, 2], None, shape=(4, 4)
+    )
+    np.testing.assert_array_equal(
+        m.decode_row_indices(), [0, 0, 1, 2, 2, 2, 3]
+    )
+
+
+def test_scipy_roundtrip(medium_matrix):
+    csr = medium_matrix.to_csr()
+    back = CSRMatrix.from_scipy(csr.to_scipy())
+    np.testing.assert_allclose(back.to_dense(), csr.to_dense())
+
+
+def test_empty_rows_and_empty_matrix():
+    m = CSRMatrix.from_arrays([0, 0, 0], [], None, shape=(2, 7))
+    assert m.nnz == 0
+    assert m.decode_row_indices().size == 0
+    np.testing.assert_array_equal(m.row_degrees(), [0, 0])

@@ -1,0 +1,80 @@
+"""DCSR format: compression, validation, round trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import COOMatrix, DCSRMatrix, HybridMatrix, SparseFormatError
+
+
+def sparse_rows_matrix():
+    # 100 rows, only rows 3, 50, 99 populated.
+    return HybridMatrix.from_arrays(
+        [3, 3, 50, 99], [0, 5, 2, 9], [1.0, 2.0, 3.0, 4.0], shape=(100, 10)
+    )
+
+
+def test_from_hybrid_stores_only_nonempty_rows():
+    d = DCSRMatrix.from_hybrid(sparse_rows_matrix())
+    np.testing.assert_array_equal(d.row_ids, [3, 50, 99])
+    np.testing.assert_array_equal(d.indptr, [0, 2, 3, 4])
+    assert d.nnz == 4
+
+
+def test_roundtrip_dense():
+    h = sparse_rows_matrix()
+    d = DCSRMatrix.from_hybrid(h)
+    np.testing.assert_allclose(d.to_dense(), h.to_dense())
+    back = d.to_hybrid()
+    np.testing.assert_array_equal(back.row, h.row)
+    np.testing.assert_array_equal(back.col, h.col)
+
+
+def test_compression_gain():
+    d = DCSRMatrix.from_hybrid(sparse_rows_matrix())
+    # CSR: 101 pointer elements; DCSR: 2*3 + 1 = 7.
+    assert d.compression_gain_vs_csr() == 101 - 7
+    assert d.memory_elements() == 7 + 2 * 4
+
+
+def test_empty_matrix():
+    d = DCSRMatrix.from_hybrid(HybridMatrix.from_arrays([], [], shape=(9, 9)))
+    assert d.nnz == 0
+    assert d.num_stored_rows == 0
+    assert d.to_dense().shape == (9, 9)
+
+
+def test_from_arrays_validation():
+    with pytest.raises(SparseFormatError):  # bad indptr length
+        DCSRMatrix.from_arrays([0], [0, 1, 2], [0, 1], shape=(4, 4))
+    with pytest.raises(SparseFormatError):  # non-increasing row ids
+        DCSRMatrix.from_arrays([2, 1], [0, 1, 2], [0, 1], shape=(4, 4))
+    with pytest.raises(SparseFormatError):  # empty stored row
+        DCSRMatrix.from_arrays([0, 1], [0, 0, 1], [3], shape=(4, 4))
+    with pytest.raises(SparseFormatError):  # indptr end != nnz
+        DCSRMatrix.from_arrays([0], [0, 2], [1], shape=(4, 4))
+
+
+def test_from_arrays_valid():
+    d = DCSRMatrix.from_arrays(
+        [1, 3], [0, 1, 3], [2, 0, 1], [5.0, 6.0, 7.0], shape=(5, 4)
+    )
+    dense = d.to_dense()
+    assert dense[1, 2] == 5.0
+    assert dense[3, 0] == 6.0
+    assert dense[3, 1] == 7.0
+
+
+@given(st.integers(0, 40), st.integers(1, 20), st.integers(0, 10**6))
+@settings(max_examples=50, deadline=None)
+def test_roundtrip_property(nnz, dim, seed):
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, dim, size=nnz)
+    cols = rng.integers(0, dim, size=nnz)
+    h = HybridMatrix.from_coo(
+        COOMatrix.from_arrays(rows, cols, None, shape=(dim, dim))
+    )
+    d = DCSRMatrix.from_hybrid(h)
+    np.testing.assert_allclose(d.to_dense(), h.to_dense())
+    assert d.num_stored_rows == np.unique(h.row).size if h.nnz else True

@@ -1,0 +1,80 @@
+"""Property-based tests (hypothesis) for the sparse formats."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import COOMatrix, HybridMatrix
+
+
+@st.composite
+def coo_matrices(draw, max_dim=24, max_nnz=60):
+    m = draw(st.integers(1, max_dim))
+    n = draw(st.integers(1, max_dim))
+    nnz = draw(st.integers(0, max_nnz))
+    rows = draw(
+        st.lists(st.integers(0, m - 1), min_size=nnz, max_size=nnz)
+    )
+    cols = draw(
+        st.lists(st.integers(0, n - 1), min_size=nnz, max_size=nnz)
+    )
+    vals = draw(
+        st.lists(
+            st.floats(-10, 10, allow_nan=False, width=32),
+            min_size=nnz,
+            max_size=nnz,
+        )
+    )
+    return COOMatrix.from_arrays(rows, cols, vals, shape=(m, n))
+
+
+@given(coo_matrices())
+@settings(max_examples=60, deadline=None)
+def test_sort_preserves_dense(coo):
+    np.testing.assert_allclose(
+        coo.sorted_by_row().to_dense(), coo.to_dense(), rtol=1e-5, atol=1e-5
+    )
+
+
+@given(coo_matrices())
+@settings(max_examples=60, deadline=None)
+def test_hybrid_roundtrip_csr(coo):
+    h = HybridMatrix.from_coo(coo)
+    back = HybridMatrix.from_csr(h.to_csr())
+    np.testing.assert_array_equal(back.row, h.row)
+    np.testing.assert_array_equal(back.col, h.col)
+    np.testing.assert_allclose(back.val, h.val)
+
+
+@given(coo_matrices())
+@settings(max_examples=60, deadline=None)
+def test_transpose_involution(coo):
+    np.testing.assert_allclose(
+        coo.transpose().transpose().to_dense(), coo.to_dense()
+    )
+
+
+@given(coo_matrices(), st.integers(0, 2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_symmetric_permutation_preserves_spectrum_trace(coo, seed):
+    # Use a square matrix; trace and Frobenius norm are invariant under
+    # symmetric permutation.
+    n = max(coo.shape)
+    h = HybridMatrix.from_coo(
+        COOMatrix.from_arrays(coo.row, coo.col, coo.val, shape=(n, n))
+    )
+    perm = np.random.default_rng(seed).permutation(n)
+    out = h.permute_symmetric(perm)
+    a = h.to_dense()
+    b = out.to_dense()
+    np.testing.assert_allclose(np.trace(a), np.trace(b), rtol=1e-4, atol=1e-4)
+    np.testing.assert_allclose(
+        np.linalg.norm(a), np.linalg.norm(b), rtol=1e-4, atol=1e-4
+    )
+
+
+@given(coo_matrices())
+@settings(max_examples=60, deadline=None)
+def test_degrees_sum_to_nnz(coo):
+    h = HybridMatrix.from_coo(coo)
+    assert int(h.row_degrees().sum()) == h.nnz

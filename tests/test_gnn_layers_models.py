@@ -1,0 +1,95 @@
+"""Layers and models: shapes, parameter plumbing, training modes."""
+
+import numpy as np
+import pytest
+
+from repro.gnn import GCN, GCNConv, GraphOperand, Linear, Tensor, TimingContext
+from repro.graphs import community_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    g = community_graph(400, 3000, num_communities=5, seed=11)
+    return GraphOperand.gcn_normalized(g)
+
+
+def test_linear_shapes_and_params():
+    rng = np.random.default_rng(0)
+    lin = Linear(8, 16, rng)
+    x = Tensor(rng.standard_normal((5, 8)).astype(np.float32))
+    out = lin(x)
+    assert out.shape == (5, 16)
+    params = lin.parameters()
+    assert len(params) == 2  # weight + bias
+    assert params[0].shape == (8, 16)
+
+
+def test_linear_records_gemms():
+    rng = np.random.default_rng(1)
+    lin = Linear(8, 16, rng)
+    timing = TimingContext()
+    lin(Tensor(np.zeros((5, 8), np.float32)), timing)
+    assert timing.num_dense_ops == 3  # forward + 2 backward GEMMs
+
+
+def test_gcnconv_output_shape(graph):
+    rng = np.random.default_rng(2)
+    conv = GCNConv(8, 12, rng)
+    x = Tensor(rng.standard_normal((graph.num_nodes, 8)).astype(np.float32))
+    out = conv(graph, x)
+    assert out.shape == (graph.num_nodes, 12)
+    assert np.all(out.data >= 0)  # ReLU applied
+
+
+def test_gcnconv_final_layer_no_activation(graph):
+    rng = np.random.default_rng(3)
+    conv = GCNConv(8, 12, rng, activation=False)
+    x = Tensor(rng.standard_normal((graph.num_nodes, 8)).astype(np.float32))
+    out = conv(graph, x)
+    assert np.any(out.data < 0)
+
+
+def test_gcn_model_depth_and_params(graph):
+    model = GCN(16, 32, 7, num_layers=4, seed=0)
+    assert len(model.layers) == 4
+    # 4 layers x (W + b).
+    assert len(model.parameters()) == 8
+    x = Tensor(np.random.default_rng(4).standard_normal(
+        (graph.num_nodes, 16)).astype(np.float32))
+    logits = model(graph, x)
+    assert logits.shape == (graph.num_nodes, 7)
+
+
+def test_gcn_validates_depth():
+    with pytest.raises(ValueError):
+        GCN(8, 8, 4, num_layers=1)
+
+
+def test_train_eval_mode_propagates(graph):
+    model = GCN(8, 8, 4, num_layers=3, dropout_p=0.5, seed=1)
+    model.eval()
+    assert all(not layer.training for layer in model.layers)
+    model.train()
+    assert all(layer.training for layer in model.layers)
+
+
+def test_gcn_loss_backward_populates_all_grads(graph):
+    model = GCN(8, 8, 4, num_layers=2, seed=2)
+    x = Tensor(np.random.default_rng(5).standard_normal(
+        (graph.num_nodes, 8)).astype(np.float32))
+    labels = np.random.default_rng(6).integers(0, 4, graph.num_nodes)
+    loss = model.loss(graph, x, labels)
+    loss.backward()
+    for p in model.parameters():
+        assert p.grad is not None
+        assert np.isfinite(p.grad).all()
+
+
+def test_timing_accumulates_per_layer(graph):
+    model = GCN(8, 8, 4, num_layers=3, seed=3)
+    timing = TimingContext()
+    x = Tensor(np.zeros((graph.num_nodes, 8), np.float32))
+    model(graph, x, timing)
+    assert timing.num_sparse_ops == 3   # one SpMM per layer (forward)
+    assert timing.num_dense_ops == 9    # 3 GEMM records per Linear
+    assert timing.total_s > 0

@@ -1,0 +1,86 @@
+"""GraphSAGE layers and model."""
+
+import numpy as np
+import pytest
+
+from repro.gnn import (
+    Adam,
+    GraphSAGE,
+    SAGEConv,
+    Tensor,
+    TimingContext,
+    row_normalized,
+)
+from repro.graphs import community_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    g = community_graph(500, 4000, num_communities=6, seed=31)
+    return g, row_normalized(g)
+
+
+def test_row_normalized_rows_average(graph):
+    g, operand = graph
+    x = np.ones((g.shape[1], 3), dtype=np.float32)
+    out = operand.csr @ x
+    # Mean aggregation of all-ones features is exactly 1 per nonempty row.
+    nonempty = g.row_degrees() > 0
+    np.testing.assert_allclose(out[nonempty], 1.0, rtol=1e-5)
+
+
+def test_sageconv_combines_self_and_neighbors(graph):
+    g, operand = graph
+    rng = np.random.default_rng(0)
+    conv = SAGEConv(8, 12, rng)
+    x = Tensor(rng.standard_normal((g.shape[0], 8)).astype(np.float32))
+    out = conv(operand, x)
+    assert out.shape == (g.shape[0], 12)
+    # Two linears -> four parameters.
+    assert len(conv.parameters()) == 4
+
+
+def test_sageconv_records_one_spmm(graph):
+    _, operand = graph
+    rng = np.random.default_rng(1)
+    conv = SAGEConv(8, 8, rng)
+    timing = TimingContext()
+    conv(operand, Tensor(np.zeros((operand.num_nodes, 8), np.float32)), timing)
+    assert timing.num_sparse_ops == 1
+    assert timing.num_dense_ops == 6  # two Linear layers x 3 records
+
+
+def test_graphsage_trains(graph):
+    g, operand = graph
+    rng = np.random.default_rng(2)
+    n = g.shape[0]
+    x = Tensor(rng.standard_normal((n, 16)).astype(np.float32))
+    labels = rng.integers(0, 5, n)
+    model = GraphSAGE(16, 16, 5, num_layers=2, seed=0)
+    opt = Adam(model.parameters(), lr=0.02)
+    losses = []
+    for _ in range(10):
+        model.zero_grad()
+        loss = model.loss(operand, x, labels)
+        loss.backward()
+        opt.step()
+        losses.append(float(loss.data))
+    assert losses[-1] < losses[0]
+
+
+def test_graphsage_hp_kernel_is_faster(graph):
+    g, operand = graph
+    rng = np.random.default_rng(3)
+    x = Tensor(rng.standard_normal((g.shape[0], 16)).astype(np.float32))
+    model = GraphSAGE(16, 16, 4, num_layers=3, seed=1)
+    times = {}
+    for kern in ("hp-spmm", "row-split"):
+        timing = TimingContext(spmm_kernel=kern)
+        model(operand, x, timing)
+        times[kern] = timing.sparse_s
+    assert times["hp-spmm"] < times["row-split"]
+
+
+def test_graphsage_validates_depth():
+    with pytest.raises(ValueError):
+        GraphSAGE(8, 8, 4, num_layers=1)

@@ -1,0 +1,164 @@
+"""Tests for the cache models: exact LRU vs footprint estimator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import FootprintCacheModel, LRUCache, reuse_times, sampled_footprint
+
+
+# ---------------------------------------------------------------------
+# reuse_times
+# ---------------------------------------------------------------------
+def test_reuse_times_basic():
+    stream = np.array([1, 2, 1, 1, 3, 2])
+    np.testing.assert_array_equal(
+        reuse_times(stream), [-1, -1, 2, 1, -1, 4]
+    )
+
+
+def test_reuse_times_all_cold():
+    np.testing.assert_array_equal(
+        reuse_times(np.array([5, 4, 3])), [-1, -1, -1]
+    )
+
+
+def test_reuse_times_empty():
+    assert reuse_times(np.array([])).size == 0
+
+
+@given(st.lists(st.integers(0, 8), min_size=1, max_size=64))
+@settings(max_examples=60, deadline=None)
+def test_reuse_times_matches_naive(stream):
+    stream = np.array(stream)
+    out = reuse_times(stream)
+    last: dict[int, int] = {}
+    for i, item in enumerate(stream):
+        expected = i - last[item] if item in last else -1
+        assert out[i] == expected
+        last[int(item)] = i
+
+
+# ---------------------------------------------------------------------
+# sampled_footprint
+# ---------------------------------------------------------------------
+def test_sampled_footprint_monotone():
+    rng = np.random.default_rng(0)
+    stream = rng.integers(0, 50, size=2000)
+    sizes = np.array([1, 10, 100, 1000, 2000])
+    fp = sampled_footprint(stream, sizes)
+    assert np.all(np.diff(fp) >= 0)
+    assert fp[0] == 1.0
+    assert fp[-1] <= 50
+
+
+def test_sampled_footprint_constant_stream():
+    fp = sampled_footprint(np.zeros(100, dtype=int), np.array([1, 50, 100]))
+    np.testing.assert_allclose(fp, 1.0)
+
+
+# ---------------------------------------------------------------------
+# LRUCache (exact)
+# ---------------------------------------------------------------------
+def test_lru_basic_hit_miss():
+    c = LRUCache(2)
+    assert not c.access(1)
+    assert not c.access(2)
+    assert c.access(1)          # still resident
+    assert not c.access(3)      # evicts 2 (LRU)
+    assert not c.access(2)
+    stats = c.run([])
+    assert stats.accesses == 5
+    assert stats.hits == 1
+
+
+def test_lru_set_associative():
+    c = LRUCache(4, num_sets=2)
+    # Items 0, 2 map to set 0; 1, 3 map to set 1.
+    for item in (0, 2, 4):
+        c.access(item)  # set 0 holds 2 ways -> 0 evicted by 4
+    assert not c.access(0)
+
+
+def test_lru_validates():
+    with pytest.raises(ValueError):
+        LRUCache(0)
+    with pytest.raises(ValueError):
+        LRUCache(5, num_sets=2)
+
+
+def test_cache_stats_hit_rate():
+    c = LRUCache(8)
+    stats = c.run([1, 1, 1, 2])
+    assert stats.hit_rate == pytest.approx(0.5)
+    assert stats.misses == 2
+
+
+# ---------------------------------------------------------------------
+# FootprintCacheModel vs exact LRU
+# ---------------------------------------------------------------------
+def test_footprint_all_fits():
+    model = FootprintCacheModel(capacity_bytes=1024, bytes_per_item=1.0)
+    stream = np.array([1, 2, 3, 1, 2, 3])
+    # Everything fits: 3 cold misses, 3 hits.
+    assert model.run(stream).hits == 3
+
+
+def test_footprint_empty_stream():
+    model = FootprintCacheModel(capacity_bytes=64, bytes_per_item=1.0)
+    assert model.run(np.array([])).hit_rate == 0.0
+
+
+def test_footprint_validates():
+    with pytest.raises(ValueError):
+        FootprintCacheModel(0, 1.0)
+    with pytest.raises(ValueError):
+        FootprintCacheModel(64, 0.0)
+    with pytest.raises(ValueError):
+        FootprintCacheModel(64, 1.0, concurrency=0.5)
+
+
+def test_footprint_tracks_lru_on_cyclic_thrash():
+    # Cyclic scan over more items than capacity: LRU hit rate is 0.
+    stream = np.tile(np.arange(64), 20)
+    model = FootprintCacheModel(capacity_bytes=16, bytes_per_item=1.0)
+    exact = LRUCache(16).run(stream)
+    approx = model.run(stream)
+    assert exact.hit_rate == 0.0
+    assert approx.hit_rate <= 0.15
+
+
+def test_footprint_tracks_lru_on_local_stream():
+    # Strong temporal locality: both should report high hit rates.
+    rng = np.random.default_rng(1)
+    blocks = [rng.integers(b * 8, b * 8 + 8, size=300) for b in range(12)]
+    stream = np.concatenate(blocks)
+    model = FootprintCacheModel(capacity_bytes=16, bytes_per_item=1.0)
+    exact = LRUCache(16).run(stream)
+    approx = model.run(stream)
+    assert exact.hit_rate > 0.85
+    assert approx.hit_rate > 0.75
+
+
+def test_footprint_monotone_in_capacity():
+    rng = np.random.default_rng(2)
+    stream = rng.zipf(1.5, size=4000) % 1000
+    rates = [
+        FootprintCacheModel(capacity_bytes=c, bytes_per_item=1.0).hit_rate(
+            stream
+        )
+        for c in (8, 64, 512, 4096)
+    ]
+    assert all(b >= a - 1e-9 for a, b in zip(rates, rates[1:]))
+
+
+def test_footprint_concurrency_shrinks_capacity():
+    rng = np.random.default_rng(3)
+    stream = rng.integers(0, 256, size=4000)
+    lone = FootprintCacheModel(capacity_bytes=128, bytes_per_item=1.0)
+    shared = FootprintCacheModel(
+        capacity_bytes=128, bytes_per_item=1.0, concurrency=8.0
+    )
+    assert shared.hit_rate(stream) <= lone.hit_rate(stream) + 1e-9
+    assert shared.capacity_items == pytest.approx(16.0)

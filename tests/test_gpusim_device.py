@@ -1,0 +1,92 @@
+"""Unit tests for the device model (occupancy Eqs. 3-4)."""
+
+import pytest
+
+from repro.gpusim import (
+    DEVICES,
+    RTX_3090,
+    TESLA_A30,
+    TESLA_V100,
+    WARP_SIZE,
+    get_device,
+)
+
+
+def test_presets_registered():
+    assert set(DEVICES) == {"v100", "a30", "rtx3090"}
+    assert get_device("Tesla V100") is TESLA_V100
+    assert get_device("A30") is TESLA_A30
+    assert get_device("rtx3090") is RTX_3090
+
+
+def test_get_device_unknown():
+    with pytest.raises(KeyError):
+        get_device("h100")
+
+
+def test_warp_size():
+    assert WARP_SIZE == 32
+
+
+def test_v100_shape():
+    assert TESLA_V100.num_sms == 80
+    assert TESLA_V100.compute_capability == (7, 0)
+    assert TESLA_V100.l2_cache_bytes == 6 * 1024 * 1024
+    assert TESLA_A30.compute_capability == (8, 0)
+
+
+def test_active_blocks_warp_limited():
+    # Eq. 3: 64 warps/SM limit: with 8 warps/block and tiny resources,
+    # at most 8 blocks fit.
+    assert TESLA_V100.active_blocks_per_sm(8, 0, 0) == 8
+
+
+def test_active_blocks_register_limited():
+    # 64 regs/thread * 256 threads = 16384 regs/block -> 4 blocks/SM.
+    assert TESLA_V100.active_blocks_per_sm(8, 64, 0) == 4
+
+
+def test_active_blocks_smem_limited():
+    # 48 KB/block on a 96 KB SM -> 2 blocks.
+    assert TESLA_V100.active_blocks_per_sm(2, 16, 48 * 1024) == 2
+
+
+def test_active_blocks_hard_cap():
+    # 1 warp/block would allow 64 by warps; hardware caps at 32.
+    assert TESLA_V100.active_blocks_per_sm(1, 0, 0) == 32
+
+
+def test_active_blocks_zero_when_unfittable():
+    assert TESLA_V100.active_blocks_per_sm(8, 16, 10**9) == 0
+
+
+def test_active_blocks_rejects_bad_warps():
+    with pytest.raises(ValueError):
+        TESLA_V100.active_blocks_per_sm(0, 16, 0)
+
+
+def test_full_wave_size_eq4():
+    # Eq. 4: FullWaveSize = NumSM * ActiveBlocksPerSM.
+    blocks = TESLA_V100.active_blocks_per_sm(8, 32, 4096)
+    assert TESLA_V100.full_wave_size(8, 32, 4096) == 80 * blocks
+
+
+def test_fma_throughput():
+    assert TESLA_V100.fma_throughput_per_sm == 2.0  # 64 lanes / 32
+    assert RTX_3090.fma_throughput_per_sm == 4.0
+
+
+def test_peak_flops_v100_about_14tf():
+    assert 13e12 < TESLA_V100.peak_fp32_flops < 15e12
+
+
+def test_with_override():
+    d = TESLA_V100.with_(num_sms=40)
+    assert d.num_sms == 40
+    assert TESLA_V100.num_sms == 80  # original untouched
+
+
+def test_tensor_cores_only_on_ampere():
+    assert TESLA_V100.tf32_tc_flops == 0.0
+    assert TESLA_A30.tf32_tc_flops > 0
+    assert RTX_3090.tf32_tc_flops > 0

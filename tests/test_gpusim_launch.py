@@ -1,0 +1,157 @@
+"""Tests for the launch simulator: rooflines, imbalance, tail effect."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import (
+    DEFAULT_COST,
+    CostParams,
+    LaunchConfig,
+    TESLA_V100,
+    WarpWorkload,
+    simulate_launch,
+    warp_critical_cycles,
+)
+
+
+def uniform_work(num_warps, issue=100.0, l2=10.0, dram=10.0, fma=50.0):
+    full = lambda v: np.full(num_warps, v, dtype=np.float64)  # noqa: E731
+    return WarpWorkload(
+        issue=full(issue), l2_sectors=full(l2), dram_sectors=full(dram),
+        fma=full(fma),
+    )
+
+
+CFG = LaunchConfig(warps_per_block=8, registers_per_thread=32)
+
+
+def test_empty_launch_costs_only_overhead():
+    stats = simulate_launch(TESLA_V100, WarpWorkload.zeros(0), CFG)
+    assert stats.time_s == TESLA_V100.kernel_launch_overhead_s
+    assert stats.num_blocks == 0
+    assert stats.bound == "launch"
+
+
+def test_workload_validation():
+    with pytest.raises(ValueError):
+        WarpWorkload(
+            issue=np.ones(4),
+            l2_sectors=np.ones(3),  # wrong length
+            dram_sectors=np.ones(4),
+            fma=np.ones(4),
+        )
+    with pytest.raises(ValueError):
+        WarpWorkload(
+            issue=-np.ones(4),
+            l2_sectors=np.ones(4),
+            dram_sectors=np.ones(4),
+            fma=np.ones(4),
+        )
+
+
+def test_unfittable_config_raises():
+    work = uniform_work(8)
+    bad = LaunchConfig(warps_per_block=8, shared_mem_per_block=10**9)
+    with pytest.raises(ValueError):
+        simulate_launch(TESLA_V100, work, bad)
+
+
+def test_warp_critical_cycles_formula():
+    work = uniform_work(1, issue=10, l2=16, dram=16, fma=0)
+    c = DEFAULT_COST
+    expected = (
+        10 * c.cycles_per_instruction
+        + (16 * c.l2_latency + 16 * c.dram_latency) / c.mlp
+    )
+    assert warp_critical_cycles(work, c)[0] == pytest.approx(expected)
+
+
+def test_more_work_takes_longer():
+    small = simulate_launch(TESLA_V100, uniform_work(10_000), CFG)
+    big = simulate_launch(TESLA_V100, uniform_work(10_000).scaled(4.0), CFG)
+    assert big.time_s > small.time_s
+
+
+def test_load_imbalance_dominates():
+    # One warp carries 1000x the work: the launch is balance-bound and
+    # slower than the same total work spread evenly.
+    n = 8000
+    skew = uniform_work(n)
+    skew.issue[0] *= 20_000
+    even_total = uniform_work(n, issue=100.0 + 100.0 * 20_000 / n)
+    t_skew = simulate_launch(TESLA_V100, skew, CFG)
+    t_even = simulate_launch(TESLA_V100, even_total, CFG)
+    assert t_skew.bound == "balance"
+    assert t_skew.time_s > t_even.time_s
+    assert t_skew.longest_block_cycles > 100 * t_even.longest_block_cycles
+
+
+def test_tail_effect_few_blocks_cannot_saturate():
+    # Identical total DRAM traffic, split over few vs many warps: the
+    # few-warp launch cannot saturate bandwidth (paper Fig. 6).
+    total_dram = 4_000_000.0
+    few = uniform_work(64, issue=10, l2=0, dram=total_dram / 64, fma=0)
+    many = uniform_work(64_000, issue=10, l2=0, dram=total_dram / 64_000, fma=0)
+    t_few = simulate_launch(TESLA_V100, few, CFG)
+    t_many = simulate_launch(TESLA_V100, many, CFG)
+    assert t_few.time_s > t_many.time_s
+    assert t_few.tail_utilization < 1.0
+
+
+def test_wave_accounting():
+    wave = TESLA_V100.full_wave_size(8, 32, 0)
+    stats = simulate_launch(TESLA_V100, uniform_work(8 * (wave + 1)), CFG)
+    assert stats.full_wave_size == wave
+    assert stats.num_waves == 2
+    assert stats.tail_utilization == pytest.approx(1.0 / wave)
+
+
+def test_dram_bound_classification():
+    work = uniform_work(50_000, issue=1, l2=0, dram=500, fma=0)
+    stats = simulate_launch(TESLA_V100, work, CFG)
+    assert stats.bound == "dram"
+    assert stats.dram_bytes == pytest.approx(50_000 * 500 * 32)
+
+
+def test_issue_bound_classification():
+    work = uniform_work(50_000, issue=5000, l2=0, dram=0, fma=0)
+    stats = simulate_launch(TESLA_V100, work, CFG)
+    assert stats.bound in ("issue", "balance")
+    assert stats.issue_cycles > stats.dram_cycles
+
+
+def test_atomic_roofline():
+    n = 50_000
+    work = WarpWorkload(
+        issue=np.full(n, 1.0),
+        l2_sectors=np.zeros(n),
+        dram_sectors=np.zeros(n),
+        fma=np.zeros(n),
+        atomics=np.full(n, 2000.0),
+    )
+    stats = simulate_launch(TESLA_V100, work, CFG)
+    assert stats.bound == "atomic"
+
+
+def test_time_scales_with_clock():
+    work = uniform_work(20_000)
+    fast = TESLA_V100.with_(clock_hz=TESLA_V100.clock_hz * 2)
+    t1 = simulate_launch(TESLA_V100, work, CFG)
+    t2 = simulate_launch(fast, work, CFG)
+    assert t2.time_s < t1.time_s
+
+
+def test_throughput_gflops():
+    work = uniform_work(20_000)
+    stats = simulate_launch(TESLA_V100, work, CFG)
+    assert stats.throughput_gflops(1e9) == pytest.approx(
+        1.0 / stats.time_s, rel=1e-6
+    )
+
+
+def test_launch_config_validation():
+    with pytest.raises(ValueError):
+        LaunchConfig(warps_per_block=0)
+    with pytest.raises(ValueError):
+        LaunchConfig(warps_per_block=4, registers_per_thread=-1)
+    assert LaunchConfig(warps_per_block=4).threads_per_block == 128

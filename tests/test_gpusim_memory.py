@@ -1,0 +1,97 @@
+"""Unit tests for the memory transaction model (HVMA substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import (
+    dense_row_profile,
+    is_aligned,
+    max_vector_width,
+    sectors_for_access,
+    sparse_tile_load_sectors,
+    strided_gather_sectors,
+    warp_scatter_sectors,
+)
+
+
+def test_sectors_for_aligned_access():
+    assert sectors_for_access(0, 32) == 1
+    assert sectors_for_access(0, 64) == 2
+    assert sectors_for_access(32, 32) == 1
+
+
+def test_sectors_for_misaligned_access_touches_extra():
+    # A 32-byte access starting at byte 4 straddles two sectors.
+    assert sectors_for_access(4, 32) == 2
+    assert sectors_for_access(28, 8) == 2
+
+
+def test_sectors_for_zero_bytes():
+    assert sectors_for_access(0, 0) == 0
+
+
+def test_sectors_vectorized_over_arrays():
+    starts = np.array([0, 4, 64])
+    nbytes = np.array([32, 32, 16])
+    np.testing.assert_array_equal(
+        sectors_for_access(starts, nbytes), [1, 2, 1]
+    )
+
+
+def test_is_aligned():
+    assert is_aligned(0, 32)
+    assert is_aligned(64, 32)
+    assert not is_aligned(4, 32)
+    np.testing.assert_array_equal(
+        is_aligned(np.array([0, 4]), 32), [True, False]
+    )
+
+
+def test_max_vector_width():
+    assert max_vector_width(0, 64) == 4       # aligned, divisible
+    assert max_vector_width(8, 64) == 2       # 8-byte aligned only
+    assert max_vector_width(4, 64) == 1       # 4-byte aligned
+    assert max_vector_width(0, 3) == 1        # length not divisible
+
+
+def test_dense_row_profile_k64():
+    # K=64 fp32: 256 bytes, aligned; float2 -> 1 instruction per row.
+    p = dense_row_profile(64, vector_width=2)
+    assert p.aligned
+    assert p.instructions == 1
+    assert p.sectors_aligned == 8
+    assert p.sectors == 8
+
+
+def test_dense_row_profile_misaligned_k():
+    # K=7 fp32: 28 bytes, never sector-aligned.
+    p = dense_row_profile(7, vector_width=4)
+    assert not p.aligned
+    assert p.vector_width == 1  # downgraded: 7 not divisible
+    assert p.sectors == p.sectors_misaligned == p.sectors_aligned + 1
+
+
+def test_dense_row_profile_scalar_instructions():
+    p = dense_row_profile(128, vector_width=1)
+    assert p.instructions == 4  # 128 / 32
+
+
+def test_dense_row_profile_validates():
+    with pytest.raises(ValueError):
+        dense_row_profile(0)
+    with pytest.raises(ValueError):
+        dense_row_profile(32, vector_width=3)
+
+
+def test_sparse_tile_load_sectors_aligned():
+    # 32 elements x 4B = 128B per array = 4 sectors; 3 arrays = 12.
+    assert sparse_tile_load_sectors(32) == 12
+
+
+def test_sparse_tile_load_sectors_misaligned_pays_extra():
+    assert sparse_tile_load_sectors(32, aligned=False) == 15
+
+
+def test_gather_and_scatter_costs():
+    assert strided_gather_sectors(64) == 8
+    assert warp_scatter_sectors(32) == 32

@@ -1,0 +1,73 @@
+"""Profiler reports: metrics and hint heuristics."""
+
+import numpy as np
+
+from repro.gpusim import (
+    LaunchConfig,
+    TESLA_V100,
+    WarpWorkload,
+    profile_report,
+    simulate_launch,
+    utilization_summary,
+)
+from repro.kernels import make_spmm
+
+from tests.conftest import random_hybrid
+
+
+def _uniform(num_warps, **kw):
+    base = dict(issue=100.0, l2=10.0, dram=10.0, fma=50.0)
+    base.update(kw)
+    full = lambda v: np.full(num_warps, v, dtype=np.float64)  # noqa: E731
+    return WarpWorkload(
+        issue=full(base["issue"]),
+        l2_sectors=full(base["l2"]),
+        dram_sectors=full(base["dram"]),
+        fma=full(base["fma"]),
+    )
+
+
+CFG = LaunchConfig(warps_per_block=8)
+
+
+def test_utilization_summary_fields():
+    stats = simulate_launch(TESLA_V100, _uniform(20_000), CFG)
+    u = utilization_summary(stats, TESLA_V100)
+    assert 0 <= u["dram_bandwidth_pct"] <= 110
+    assert 0 <= u["occupancy_pct"] <= 100
+    assert u["blocks"] == stats.num_blocks
+    assert 0 < u["imbalance_ratio"] <= 1.0
+
+
+def test_dram_bound_kernel_reports_high_bandwidth():
+    stats = simulate_launch(
+        TESLA_V100, _uniform(50_000, issue=1, l2=0, dram=500, fma=0), CFG
+    )
+    u = utilization_summary(stats, TESLA_V100)
+    assert stats.bound == "dram"
+    assert u["dram_bandwidth_pct"] > 60
+
+
+def test_report_contains_key_sections():
+    S = random_hybrid(1000, 1000, 10_000, seed=50)
+    stats = make_spmm("hp-spmm").estimate(S, 64).stats
+    text = profile_report(stats, TESLA_V100, kernel_name="hp-spmm",
+                          flops=2.0 * S.nnz * 64)
+    for needle in ("profile: hp-spmm", "dominant bound", "occupancy",
+                   "DRAM traffic", "GFLOP/s"):
+        assert needle in text
+
+
+def test_tail_effect_hint():
+    # A launch with very few blocks triggers the DTP hint.
+    stats = simulate_launch(TESLA_V100, _uniform(32), CFG)
+    text = profile_report(stats, TESLA_V100)
+    assert "tail effect" in text
+
+
+def test_imbalance_hint():
+    work = _uniform(8000)
+    work.issue[0] *= 50_000
+    stats = simulate_launch(TESLA_V100, work, CFG)
+    text = profile_report(stats, TESLA_V100)
+    assert "load imbalance dominates" in text

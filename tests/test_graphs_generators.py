@@ -1,0 +1,119 @@
+"""Synthetic graph generators: calibration, determinism, invariants."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    chung_lu_graph,
+    community_graph,
+    lognormal_degree_graph,
+    rmat_graph,
+)
+
+
+@pytest.mark.parametrize(
+    "gen,kwargs",
+    [
+        (chung_lu_graph, {}),
+        (community_graph, {"num_communities": 8, "p_in": 0.8}),
+        (rmat_graph, {}),
+    ],
+)
+def test_generators_hit_size_targets(gen, kwargs):
+    g = gen(2000, 16_000, seed=0, **kwargs)
+    assert g.shape == (2000, 2000)
+    # Self-loops add up to n edges on top of the target.
+    assert 16_000 * 0.9 <= g.nnz <= 16_000 + 2000 + 16
+
+
+@pytest.mark.parametrize(
+    "gen,kwargs",
+    [
+        (chung_lu_graph, {}),
+        (community_graph, {"num_communities": 8}),
+        (rmat_graph, {}),
+    ],
+)
+def test_generators_deterministic(gen, kwargs):
+    a = gen(500, 4000, seed=42, **kwargs)
+    b = gen(500, 4000, seed=42, **kwargs)
+    np.testing.assert_array_equal(a.row, b.row)
+    np.testing.assert_array_equal(a.col, b.col)
+    c = gen(500, 4000, seed=43, **kwargs)
+    assert not (
+        c.nnz == a.nnz and np.array_equal(c.row, a.row) and np.array_equal(c.col, a.col)
+    )
+
+
+def test_self_loops_present_by_default():
+    g = chung_lu_graph(100, 500, seed=0)
+    loops = np.count_nonzero(g.row == g.col)
+    assert loops == 100
+
+
+def test_self_loops_can_be_disabled():
+    g = chung_lu_graph(100, 500, seed=0, self_loops=False)
+    assert np.count_nonzero(g.row == g.col) <= 10  # only random collisions
+
+
+def test_no_duplicate_edges():
+    g = community_graph(400, 4000, num_communities=5, seed=1)
+    keys = g.row.astype(np.int64) * g.shape[1] + g.col.astype(np.int64)
+    assert np.unique(keys).size == keys.size
+
+
+def test_symmetric_option():
+    g = chung_lu_graph(300, 2000, seed=2, symmetric=True, self_loops=False)
+    dense = g.to_dense()
+    np.testing.assert_array_equal(dense > 0, (dense > 0).T)
+
+
+def test_gamma_controls_skew():
+    flat = chung_lu_graph(3000, 30_000, gamma=10.0, seed=3, self_loops=False)
+    skewed = chung_lu_graph(3000, 30_000, gamma=1.8, seed=3, self_loops=False)
+    # In-degree (column) skew follows the weights.
+    cv = lambda g: np.std(np.bincount(g.col, minlength=3000)) / max(  # noqa: E731
+        1e-9, np.mean(np.bincount(g.col, minlength=3000))
+    )
+    assert cv(skewed) > 2 * cv(flat)
+
+
+def test_community_graph_has_internal_edge_excess():
+    n, c = 1200, 6
+    g = community_graph(n, 12_000, num_communities=c, p_in=0.9, seed=4,
+                        self_loops=False)
+    # Can't observe the hidden assignment, but Louvain-recoverable
+    # structure implies modularity > 0 (checked in reorder tests); here
+    # check the generator accepted the parameters and sized correctly.
+    assert g.nnz > 10_000
+
+
+def test_community_graph_validates_p_in():
+    with pytest.raises(ValueError):
+        community_graph(10, 20, p_in=1.5)
+
+
+def test_rmat_validates_quadrants():
+    with pytest.raises(ValueError):
+        rmat_graph(10, 20, a=0.6, b=0.3, c=0.3)
+
+
+def test_lognormal_degree_graph_mean_and_variance():
+    lo = lognormal_degree_graph(4000, 20.0, 0.1, seed=5)
+    hi = lognormal_degree_graph(4000, 20.0, 1.8, seed=5)
+    d_lo = lo.row_degrees()
+    d_hi = hi.row_degrees()
+    # Equal mean (within tolerance), very different variance.
+    assert abs(d_lo.mean() - d_hi.mean()) < 4.0
+    assert d_hi.std() > 3 * d_lo.std()
+
+
+def test_lognormal_validates_sigma():
+    with pytest.raises(ValueError):
+        lognormal_degree_graph(100, 5.0, -1.0)
+
+
+def test_dense_request_saturates_gracefully():
+    # More edges than pairs: generator returns all it can, no hang.
+    g = chung_lu_graph(30, 2000, seed=6, self_loops=False)
+    assert g.nnz <= 900

@@ -1,0 +1,83 @@
+"""Dataset registry: Table II specs, scaling, caching."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    FULL_GRAPH_ORDER,
+    FULL_GRAPH_SPECS,
+    load_all,
+    load_graph,
+)
+
+
+def test_nineteen_graphs_registered():
+    # Paper Table II lists 19 graphs.
+    assert len(FULL_GRAPH_SPECS) == 19
+    assert len(FULL_GRAPH_ORDER) == 19
+
+
+def test_paper_sizes_recorded():
+    s = FULL_GRAPH_SPECS["reddit"]
+    assert s.paper_nodes == 232_965
+    assert s.paper_edges == 114_848_857
+    assert s.source == "DGL"
+    assert FULL_GRAPH_SPECS["yelp"].paper_mean_degree == pytest.approx(
+        13_954_819 / 716_847
+    )
+
+
+def test_scaled_size_preserves_mean_degree():
+    s = FULL_GRAPH_SPECS["arxiv"]
+    nodes, edges = s.scaled_size(100_000)
+    assert edges <= 100_000 * 1.1
+    assert edges / nodes == pytest.approx(s.paper_mean_degree, rel=0.05)
+
+
+def test_scaled_size_caps_density():
+    s = FULL_GRAPH_SPECS["ddi"]  # mean degree ~502
+    nodes, edges = s.scaled_size(20_000)
+    assert edges / nodes <= 0.2 * nodes + 1
+
+
+def test_scaled_size_no_upscaling():
+    s = FULL_GRAPH_SPECS["aifb"]
+    nodes, edges = s.scaled_size(10**12)
+    assert nodes == s.paper_nodes
+
+
+def test_load_graph_small(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    ds = load_graph("corafull", max_edges=20_000)
+    assert ds.name == "corafull"
+    assert ds.num_edges <= 20_000 + ds.num_nodes + 16
+    assert ds.matrix.shape[0] == ds.matrix.shape[1]
+
+
+def test_load_graph_disk_cache_roundtrip(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    from repro.graphs import registry
+
+    registry._load_cached.cache_clear()
+    a = load_graph("aifb", max_edges=15_000)
+    registry._load_cached.cache_clear()
+    b = load_graph("aifb", max_edges=15_000)  # from disk
+    np.testing.assert_array_equal(a.matrix.row, b.matrix.row)
+    np.testing.assert_array_equal(a.matrix.col, b.matrix.col)
+
+
+def test_load_graph_unknown_name():
+    with pytest.raises(KeyError):
+        load_graph("not-a-graph")
+
+
+def test_load_graph_case_insensitive(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    ds = load_graph("  AIFB ", max_edges=15_000)
+    assert ds.name == "aifb"
+
+
+def test_load_all_order(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    datasets = load_all(max_edges=8_000)
+    assert [d.name for d in datasets] == list(FULL_GRAPH_ORDER)

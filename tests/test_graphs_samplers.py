@@ -1,0 +1,97 @@
+"""Subgraph samplers (GraphSAINT / GraphSAGE)."""
+
+import numpy as np
+import pytest
+
+from repro.formats import HybridMatrix
+from repro.graphs import (
+    build_sampling_dataset,
+    community_graph,
+    induced_subgraph,
+    sage_neighbor_sampler,
+    saint_edge_sampler,
+    saint_node_sampler,
+    saint_walk_sampler,
+)
+
+
+@pytest.fixture(scope="module")
+def parent():
+    return community_graph(3000, 36_000, num_communities=10, p_in=0.8, seed=9)
+
+
+def test_induced_subgraph_correctness():
+    S = HybridMatrix.from_arrays(
+        [0, 0, 1, 2, 3], [1, 2, 2, 3, 0], [1.0, 2.0, 3.0, 4.0, 5.0],
+        shape=(4, 4),
+    )
+    sub = induced_subgraph(S, np.array([0, 2, 3]))
+    # Kept edges among {0, 2, 3}: (0,2)=2, (2,3)=4, (3,0)=5.
+    dense = sub.to_dense()
+    assert sub.shape == (3, 3)
+    assert dense[0, 1] == 2.0   # 0->2
+    assert dense[1, 2] == 4.0   # 2->3
+    assert dense[2, 0] == 5.0   # 3->0
+    assert sub.nnz == 3
+
+
+def test_induced_subgraph_dedups_nodes():
+    S = HybridMatrix.from_arrays([0], [1], None, shape=(3, 3))
+    sub = induced_subgraph(S, np.array([1, 1, 0]))
+    assert sub.shape == (2, 2)
+
+
+def test_node_sampler_budget_and_determinism(parent):
+    a = saint_node_sampler(parent, 500, seed=3)
+    b = saint_node_sampler(parent, 500, seed=3)
+    assert a.num_nodes <= 500
+    np.testing.assert_array_equal(a.node_map, b.node_map)
+    c = saint_node_sampler(parent, 500, seed=4)
+    assert not np.array_equal(a.node_map, c.node_map)
+
+
+def test_node_sampler_prefers_high_degree(parent):
+    sub = saint_node_sampler(parent, 600, seed=5)
+    deg = parent.row_degrees()
+    sampled_mean = deg[sub.node_map].mean()
+    assert sampled_mean > deg.mean()
+
+
+def test_edge_sampler(parent):
+    sub = saint_edge_sampler(parent, 2000, seed=6)
+    assert sub.sampler == "saint-edge"
+    assert sub.num_edges > 0
+    assert sub.node_map.size == sub.num_nodes
+
+
+def test_walk_sampler(parent):
+    sub = saint_walk_sampler(parent, 100, 4, seed=7)
+    assert sub.sampler == "saint-walk"
+    assert 0 < sub.num_nodes <= 100 * 5  # roots x (length + 1)
+
+
+def test_sage_sampler_expands_neighborhood(parent):
+    sub = sage_neighbor_sampler(parent, 50, (5, 5), seed=8)
+    assert sub.num_nodes >= 50
+    assert sub.sampler == "sage-neighbor"
+
+
+def test_subgraph_nodes_are_sorted_parent_ids(parent):
+    sub = saint_node_sampler(parent, 300, seed=9)
+    assert np.all(np.diff(sub.node_map) > 0)
+    assert sub.node_map.max() < parent.shape[0]
+
+
+def test_build_sampling_dataset_mixes_samplers(parent):
+    subs = build_sampling_dataset([parent], per_parent=8, node_budget=400)
+    kinds = {s.sampler for s in subs}
+    assert kinds == {
+        "saint-node", "saint-edge", "saint-walk", "sage-neighbor"
+    }
+    assert all(s.num_edges > 0 for s in subs)
+
+
+def test_build_sampling_dataset_deterministic(parent):
+    a = build_sampling_dataset([parent], per_parent=4, node_budget=400, seed=1)
+    b = build_sampling_dataset([parent], per_parent=4, node_budget=400, seed=1)
+    assert [s.num_edges for s in a] == [s.num_edges for s in b]

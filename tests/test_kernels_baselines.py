@@ -1,0 +1,144 @@
+"""Baseline kernels: numerics, characteristic behaviors, preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.formats import HybridMatrix
+from repro.gpusim import RTX_3090, TESLA_A30, TESLA_V100
+from repro.kernels import (
+    SPMM_REGISTRY,
+    GESpMM,
+    HuangNGSpMM,
+    MergePathSpMM,
+    RowSplitSpMM,
+    SputnikSpMM,
+    TCGNNSpMM,
+    make_spmm,
+    spmm_reference,
+)
+from repro.kernels.baselines import dense_fraction, neighbor_group_degrees
+from repro.kernels.baselines.tcgnn import condensed_fragments, nonempty_tiles
+
+
+ALL_SPMM = sorted(SPMM_REGISTRY)
+
+
+@pytest.mark.parametrize("name", ALL_SPMM)
+def test_numerics_match_reference(name, medium_matrix, features):
+    A = features(medium_matrix.shape[1], 32, seed=7)
+    kern = make_spmm(name)
+    device = RTX_3090 if name == "tc-gnn" else TESLA_V100
+    result = kern.run(medium_matrix, A, device=device)
+    np.testing.assert_allclose(
+        result.output, spmm_reference(medium_matrix, A), rtol=1e-4, atol=1e-4
+    )
+    assert result.stats.time_s > 0
+
+
+@pytest.mark.parametrize("name", ALL_SPMM)
+def test_estimate_agrees_with_run(name, small_matrix, features):
+    A = features(small_matrix.shape[1], 32, seed=8)
+    kern = make_spmm(name)
+    device = RTX_3090 if name == "tc-gnn" else TESLA_A30
+    run = kern.run(small_matrix, A, device=device)
+    est = kern.estimate(small_matrix, 32, device=device)
+    assert est.stats.time_s == run.stats.time_s
+    assert est.preprocessing_s == run.preprocessing_s
+
+
+def test_node_parallel_suffers_on_skew(skewed_matrix, medium_matrix):
+    # GE-SpMM and row-split pay for the giant row; HP does not (the
+    # central claim behind Fig. 12).
+    hp = make_spmm("hp-spmm")
+    for baseline in (GESpMM(), RowSplitSpMM()):
+        t_base = baseline.estimate(skewed_matrix, 64).stats
+        t_hp = hp.estimate(skewed_matrix, 64).stats
+        assert t_base.longest_block_cycles > 3 * t_hp.longest_block_cycles
+        assert t_base.time_s > t_hp.time_s
+
+
+def test_sputnik_sorting_reduces_imbalance(skewed_matrix):
+    # Sorted rows group similar sizes into blocks: Sputnik's makespan on
+    # a skewed graph beats unsorted row-split's.
+    spk = SputnikSpMM().estimate(skewed_matrix, 64).stats
+    rs = RowSplitSpMM().estimate(skewed_matrix, 64).stats
+    assert spk.balance_cycles < rs.balance_cycles
+
+
+def test_preprocessing_costs_ordering(medium_matrix):
+    # Paper Table IV shape: merge-path's pre-pass is the cheapest;
+    # Huang's neighbor grouping is the most expensive.
+    mp = MergePathSpMM().estimate(medium_matrix, 64).preprocessing_s
+    spk = SputnikSpMM().estimate(medium_matrix, 64).preprocessing_s
+    hng = HuangNGSpMM().estimate(medium_matrix, 64).preprocessing_s
+    aspt = make_spmm("aspt").estimate(medium_matrix, 64).preprocessing_s
+    assert mp < spk
+    assert mp < aspt
+    assert hng > aspt
+    assert make_spmm("hp-spmm").estimate(medium_matrix, 64).preprocessing_s == 0
+
+
+def test_preprocessing_scales_with_size(small_matrix, medium_matrix):
+    small = HuangNGSpMM().estimate(small_matrix, 64).preprocessing_s
+    big = HuangNGSpMM().estimate(medium_matrix, 64).preprocessing_s
+    assert big > small
+
+
+def test_total_time_includes_preprocessing(medium_matrix):
+    res = SputnikSpMM().estimate(medium_matrix, 64)
+    assert res.total_time_s == pytest.approx(
+        res.stats.time_s + res.preprocessing_s
+    )
+
+
+def test_neighbor_group_degrees():
+    tiles = neighbor_group_degrees(np.array([700, 10, 0, 256]), tile=256)
+    assert tiles.sum() == 966
+    assert tiles.max() <= 256
+    # 700 -> 2 full + 188; 10 -> 10; 0 -> none; 256 -> 1 full.
+    assert sorted(tiles.tolist()) == [10, 188, 256, 256, 256]
+
+
+def test_neighbor_group_validates():
+    with pytest.raises(ValueError):
+        neighbor_group_degrees(np.array([1]), tile=0)
+
+
+def test_dense_fraction_bounds(medium_matrix):
+    f = dense_fraction(medium_matrix)
+    assert 0.0 <= f <= 1.0
+    assert dense_fraction(HybridMatrix.from_arrays([], [], shape=(4, 4))) == 0.0
+
+
+def test_dense_fraction_detects_dense_columns():
+    # Every nonzero in one column within one panel: fully dense part.
+    rows = np.arange(32)
+    cols = np.zeros(32, dtype=np.int64)
+    S = HybridMatrix.from_arrays(rows, cols, None, shape=(64, 64))
+    assert dense_fraction(S, panel_rows=64, threshold=4) == 1.0
+
+
+def test_tcgnn_tile_counting():
+    S = HybridMatrix.from_arrays([0, 0, 17], [0, 1, 40], None, shape=(32, 64))
+    # nnz at tiles (0,0), (0,0) and (1,2) -> 2 nonempty tiles.
+    assert nonempty_tiles(S) == 2
+    frags, stream = condensed_fragments(S)
+    assert frags.sum() == 2  # 2 unique cols in panel 0, 1 in panel 1
+    assert stream.size == 3
+
+
+def test_tcgnn_requires_tensor_cores(medium_matrix):
+    with pytest.raises(ValueError):
+        TCGNNSpMM().estimate(medium_matrix, 64, device=TESLA_V100)
+
+
+def test_tcgnn_runs_on_ampere(medium_matrix):
+    res = TCGNNSpMM().estimate(medium_matrix, 64, device=TESLA_A30)
+    assert res.stats.time_s > 0
+
+
+def test_registry_instantiates_everything():
+    for name in ALL_SPMM:
+        assert make_spmm(name).name == name
+    with pytest.raises(KeyError):
+        make_spmm("nonexistent")

@@ -1,0 +1,110 @@
+"""Cost-model helpers: warp slicing, row segments, hit-rate splitting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import TESLA_V100
+from repro.kernels.common import (
+    dense_row_alignment,
+    estimate_hit_rate,
+    output_write_sectors,
+    per_warp_nnz,
+    row_segments_per_slice,
+    split_by_hit_rate,
+    warp_slice_starts,
+)
+
+
+def test_warp_slice_starts():
+    np.testing.assert_array_equal(warp_slice_starts(100, 32), [0, 32, 64, 96])
+    np.testing.assert_array_equal(warp_slice_starts(96, 32), [0, 32, 64])
+    assert warp_slice_starts(0, 32).size == 0
+    with pytest.raises(ValueError):
+        warp_slice_starts(10, 0)
+
+
+def test_per_warp_nnz():
+    np.testing.assert_array_equal(per_warp_nnz(100, 32), [32, 32, 32, 4])
+    assert per_warp_nnz(0, 8).size == 0
+    assert int(per_warp_nnz(100, 32).sum()) == 100
+
+
+def test_row_segments_per_slice_basic():
+    # rows: 0 0 0 1 1 2 | slices of 3: [0,0,0] -> 1 segment, [1,1,2] -> 2.
+    row = np.array([0, 0, 0, 1, 1, 2])
+    starts = warp_slice_starts(6, 3)
+    np.testing.assert_array_equal(
+        row_segments_per_slice(row, starts, 3), [1, 2]
+    )
+
+
+def test_row_segments_boundary_not_counted():
+    # A row change exactly at a slice boundary is not an internal switch.
+    row = np.array([0, 0, 1, 1])
+    starts = warp_slice_starts(4, 2)
+    np.testing.assert_array_equal(
+        row_segments_per_slice(row, starts, 2), [1, 1]
+    )
+
+
+def test_row_segments_empty():
+    assert row_segments_per_slice(np.array([]), np.array([], dtype=np.int64), 4).size == 0
+
+
+@given(
+    st.lists(st.integers(0, 5), min_size=1, max_size=200),
+    st.integers(1, 64),
+)
+@settings(max_examples=60, deadline=None)
+def test_row_segments_matches_naive(rows, npw):
+    row = np.sort(np.array(rows))
+    starts = warp_slice_starts(row.size, npw)
+    got = row_segments_per_slice(row, starts, npw)
+    for w, s in enumerate(starts):
+        chunk = row[s : s + npw]
+        expected = np.unique(chunk).size
+        # Distinct rows == segments because rows are sorted.
+        assert got[w] == expected
+    # Total segments >= total distinct rows.
+    assert got.sum() >= np.unique(row).size
+
+
+def test_split_by_hit_rate():
+    sectors = np.array([10.0, 20.0])
+    l2, dram = split_by_hit_rate(sectors, 0.75)
+    np.testing.assert_allclose(l2, [7.5, 15.0])
+    np.testing.assert_allclose(dram, [2.5, 5.0])
+    np.testing.assert_allclose(l2 + dram, sectors)
+
+
+def test_split_by_hit_rate_clips():
+    sectors = np.array([4.0])
+    l2, dram = split_by_hit_rate(sectors, 1.7)
+    np.testing.assert_allclose(dram, 0.0)
+
+
+def test_estimate_hit_rate_empty():
+    assert estimate_hit_rate(np.array([]), 256.0, TESLA_V100) == 0.0
+
+
+def test_estimate_hit_rate_hot_stream():
+    stream = np.zeros(10_000, dtype=np.int64)
+    assert estimate_hit_rate(stream, 256.0, TESLA_V100) > 0.95
+
+
+def test_estimate_hit_rate_memoized():
+    rng = np.random.default_rng(0)
+    stream = rng.integers(0, 100_000, size=50_000)
+    a = estimate_hit_rate(stream, 256.0, TESLA_V100)
+    b = estimate_hit_rate(stream, 256.0, TESLA_V100)  # cached path
+    assert a == b
+
+
+def test_alignment_and_write_sectors():
+    assert dense_row_alignment(64)
+    assert dense_row_alignment(8)
+    assert not dense_row_alignment(7)
+    assert output_write_sectors(64) == 8
+    assert output_write_sectors(7) == 1

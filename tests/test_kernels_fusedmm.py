@@ -1,0 +1,59 @@
+"""FusedMM: fused SDDMM+SpMM numerics and fusion savings."""
+
+import numpy as np
+import pytest
+
+from repro.formats import HybridMatrix
+from repro.kernels import FusedMM, fusedmm_reference, sddmm_reference, spmm_reference
+
+
+def test_reference_composition(medium_matrix, features):
+    S = medium_matrix
+    k = 16
+    A1 = features(S.shape[0], k, seed=0)
+    A2T = features(S.shape[1], k, seed=1)
+    X = features(S.shape[1], k, seed=2)
+    out = fusedmm_reference(S, A1, A2T, X)
+    vals = sddmm_reference(S, A1, A2T)
+    weighted = HybridMatrix(row=S.row, col=S.col, val=vals, shape=S.shape)
+    np.testing.assert_allclose(
+        out, spmm_reference(weighted, X), rtol=1e-4, atol=1e-4
+    )
+
+
+def test_reference_with_edge_function(small_matrix, features):
+    S = small_matrix
+    A1 = features(S.shape[0], 8, seed=3)
+    A2T = features(S.shape[1], 8, seed=4)
+    X = features(S.shape[1], 8, seed=5)
+    relu_out = fusedmm_reference(
+        S, A1, A2T, X, edge_fn=lambda v: np.maximum(v, 0)
+    )
+    plain = fusedmm_reference(S, A1, A2T, X)
+    assert not np.allclose(relu_out, plain)
+
+
+def test_fusion_saves_time(medium_matrix):
+    res = FusedMM().estimate(medium_matrix, 64)
+    assert res.stats.time_s > 0
+    # Fused must beat running the two kernels back to back...
+    assert res.stats.time_s < res.unfused_time_s
+    assert res.fusion_speedup > 1.0
+    # ...but cannot be more than ~3x better (it still does all the math).
+    assert res.fusion_speedup < 3.0
+
+
+def test_run_returns_numerics(small_matrix, features):
+    S = small_matrix
+    A1 = features(S.shape[0], 8, seed=6)
+    A2T = features(S.shape[1], 8, seed=7)
+    X = features(S.shape[1], 8, seed=8)
+    res = FusedMM().run(S, A1, A2T, X)
+    np.testing.assert_allclose(
+        res.output, fusedmm_reference(S, A1, A2T, X), rtol=1e-4, atol=1e-4
+    )
+
+
+def test_estimate_validates_k(small_matrix):
+    with pytest.raises(ValueError):
+        FusedMM().estimate(small_matrix, 0)

@@ -1,0 +1,118 @@
+"""HP-SpMM: numerics, task partitioning, and cost-model behavior."""
+
+import numpy as np
+import pytest
+
+from repro.formats import HybridMatrix
+from repro.gpusim import TESLA_V100
+from repro.kernels import HPSpMM, spmm_reference
+from repro.tuning import CANDIDATE_NNZ_PER_WARP
+
+from tests.conftest import random_hybrid
+
+
+def test_numerics_match_reference(medium_matrix, features):
+    A = features(medium_matrix.shape[1], 64, seed=0)
+    result = HPSpMM().run(medium_matrix, A)
+    np.testing.assert_allclose(
+        result.output, spmm_reference(medium_matrix, A), rtol=1e-5, atol=1e-5
+    )
+
+
+def test_estimate_has_no_output(medium_matrix):
+    res = HPSpMM().estimate(medium_matrix, 64)
+    assert res.output is None
+    assert res.stats.time_s > 0
+    assert res.preprocessing_s == 0.0  # HP needs no preprocessing
+
+
+def test_estimate_matches_run_stats(medium_matrix, features):
+    A = features(medium_matrix.shape[1], 32, seed=1)
+    run = HPSpMM().run(medium_matrix, A)
+    est = HPSpMM().estimate(medium_matrix, 32)
+    assert run.stats.time_s == est.stats.time_s
+
+
+def test_estimate_rejects_bad_k(medium_matrix):
+    with pytest.raises(ValueError):
+        HPSpMM().estimate(medium_matrix, 0)
+
+
+def test_operand_validation(medium_matrix):
+    bad = np.ones((medium_matrix.shape[1] + 1, 8), np.float32)
+    with pytest.raises(ValueError):
+        HPSpMM().run(medium_matrix, bad)
+    with pytest.raises(ValueError):
+        HPSpMM().run(medium_matrix, np.ones(4, np.float32))
+
+
+def test_dtp_partition_from_candidate_set(medium_matrix):
+    part = HPSpMM().partition(medium_matrix, 64, TESLA_V100)
+    assert part.nnz_per_warp in CANDIDATE_NNZ_PER_WARP
+
+
+def test_explicit_nnz_per_warp_override(medium_matrix):
+    part = HPSpMM(nnz_per_warp=128).partition(medium_matrix, 64, TESLA_V100)
+    assert part.nnz_per_warp == 128
+    # HVMA rule for npw >= 128 is float4, but K=64 is not divisible by
+    # 32*4, so the width downgrades to float2.
+    assert part.vector_width == 2
+
+
+def test_hvma_off_forces_scalar(medium_matrix):
+    part = HPSpMM(use_hvma=False, nnz_per_warp=256).partition(
+        medium_matrix, 64, TESLA_V100
+    )
+    assert part.vector_width == 1
+
+
+def test_naive_partition_without_dtp(medium_matrix):
+    part = HPSpMM(use_dtp=False).partition(medium_matrix, 64, TESLA_V100)
+    expected = int(np.ceil(medium_matrix.nnz / medium_matrix.shape[0]))
+    assert part.nnz_per_warp == max(1, expected)
+
+
+def test_dtp_and_hvma_improve_over_base(medium_matrix):
+    base = HPSpMM(use_dtp=False, use_hvma=False).estimate(medium_matrix, 64)
+    full = HPSpMM().estimate(medium_matrix, 64)
+    assert full.stats.time_s <= base.stats.time_s * 1.05
+
+
+def test_balanced_on_skewed_graph(skewed_matrix):
+    # HP's longest block is bounded by NnzPerWarp, not by the giant row.
+    stats = HPSpMM().estimate(skewed_matrix, 64).stats
+    part = HPSpMM().partition(skewed_matrix, 64, TESLA_V100)
+    per_warp = stats.longest_block_cycles
+    # A node-parallel kernel would pay ~1200 nnz in one warp; HP pays at
+    # most NnzPerWarp per warp.
+    assert part.nnz_per_warp <= 512
+    assert stats.num_warps >= skewed_matrix.nnz // part.nnz_per_warp
+    assert per_warp < 100_000
+
+
+def test_time_grows_with_k(medium_matrix):
+    times = [
+        HPSpMM().estimate(medium_matrix, k).stats.time_s
+        for k in (32, 64, 128, 256)
+    ]
+    assert all(b >= a * 0.95 for a, b in zip(times, times[1:]))
+
+
+def test_empty_matrix():
+    S = HybridMatrix.from_arrays([], [], shape=(8, 8))
+    res = HPSpMM().run(S, np.ones((8, 4), np.float32))
+    np.testing.assert_allclose(res.output, 0.0)
+
+
+def test_time_scales_with_nnz():
+    small = random_hybrid(2000, 2000, 10_000, seed=4)
+    big = random_hybrid(2000, 2000, 80_000, seed=5)
+    t_small = HPSpMM().estimate(small, 64).stats.time_s
+    t_big = HPSpMM().estimate(big, 64).stats.time_s
+    assert t_big > t_small
+
+
+def test_feature_groups_cover_wide_k(medium_matrix):
+    part = HPSpMM().partition(medium_matrix, 256, TESLA_V100)
+    assert part.num_feature_groups * 32 * part.vector_width >= 256
+    assert part.num_warps == part.num_slices * part.num_feature_groups

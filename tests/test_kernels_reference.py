@@ -1,0 +1,120 @@
+"""Golden-reference SpMM / SDDMM numerics (Algorithms 1-2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import COOMatrix, HybridMatrix
+from repro.kernels import reference
+from repro.kernels.reference import (
+    sddmm_flops,
+    sddmm_reference,
+    spmm_flops,
+    spmm_reference,
+)
+
+from tests.conftest import random_hybrid
+
+
+def test_spmm_matches_scipy(medium_matrix, features):
+    A = features(medium_matrix.shape[1], 64, seed=1)
+    out = spmm_reference(medium_matrix, A)
+    expected = medium_matrix.to_scipy() @ A
+    np.testing.assert_allclose(out, expected, rtol=1e-5, atol=1e-5)
+
+
+def test_spmm_handles_empty_rows():
+    S = HybridMatrix.from_arrays([1, 1], [0, 2], [2.0, 3.0], shape=(3, 3))
+    A = np.eye(3, dtype=np.float32)
+    out = spmm_reference(S, A)
+    np.testing.assert_allclose(out[0], 0.0)
+    np.testing.assert_allclose(out[2], 0.0)
+    np.testing.assert_allclose(out[1], [2.0, 0.0, 3.0])
+
+
+def test_spmm_empty_matrix():
+    S = HybridMatrix.from_arrays([], [], shape=(4, 4))
+    A = np.ones((4, 8), dtype=np.float32)
+    assert spmm_reference(S, A).shape == (4, 8)
+    np.testing.assert_allclose(spmm_reference(S, A), 0.0)
+
+
+def test_spmm_k_zero():
+    S = HybridMatrix.from_arrays([0], [0], [1.0], shape=(2, 2))
+    A = np.zeros((2, 0), dtype=np.float32)
+    assert spmm_reference(S, A).shape == (2, 0)
+
+
+def test_spmm_chunked_matches_unchunked(monkeypatch, features):
+    S = random_hybrid(500, 500, 8000, seed=9)
+    A = features(500, 32, seed=2)
+    full = spmm_reference(S, A)
+    monkeypatch.setattr(reference, "CHUNK_ELEMS", 1024)
+    chunked = spmm_reference(S, A)
+    np.testing.assert_allclose(chunked, full, rtol=1e-5, atol=1e-5)
+
+
+def test_spmm_single_giant_row(features):
+    # One row larger than a chunk must still be reduced correctly.
+    n = 3000
+    S = HybridMatrix.from_arrays(
+        np.zeros(n, dtype=np.int64), np.arange(n), None, shape=(2, n)
+    )
+    A = features(n, 8, seed=3)
+    out = spmm_reference(S, A)
+    np.testing.assert_allclose(out[0], A.sum(axis=0), rtol=1e-3, atol=1e-3)
+
+
+def test_sddmm_matches_dense(medium_matrix, features):
+    k = 32
+    A1 = features(medium_matrix.shape[0], k, seed=4)
+    A2T = features(medium_matrix.shape[1], k, seed=5)
+    vals = sddmm_reference(medium_matrix, A1, A2T)
+    dense = A1 @ A2T.T
+    expected = dense[medium_matrix.row, medium_matrix.col] * medium_matrix.val
+    np.testing.assert_allclose(vals, expected, rtol=1e-4, atol=1e-4)
+
+
+def test_sddmm_empty():
+    S = HybridMatrix.from_arrays([], [], shape=(3, 3))
+    out = sddmm_reference(
+        S, np.ones((3, 4), np.float32), np.ones((3, 4), np.float32)
+    )
+    assert out.size == 0
+
+
+def test_sddmm_scales_by_sparse_value():
+    S = HybridMatrix.from_arrays([0], [0], [2.5], shape=(1, 1))
+    A1 = np.full((1, 4), 2.0, np.float32)
+    A2T = np.full((1, 4), 3.0, np.float32)
+    np.testing.assert_allclose(sddmm_reference(S, A1, A2T), [2.5 * 24.0])
+
+
+def test_flop_counts():
+    S = HybridMatrix.from_arrays([0, 1], [1, 0], None, shape=(2, 2))
+    assert spmm_flops(S, 16) == 2 * 2 * 16
+    assert sddmm_flops(S, 16) == 2 * 2 * 16 + 2
+
+
+@given(
+    st.integers(1, 12),
+    st.integers(1, 12),
+    st.integers(1, 8),
+    st.integers(0, 30),
+    st.integers(0, 10**6),
+)
+@settings(max_examples=40, deadline=None)
+def test_spmm_property_vs_dense(m, n, k, nnz, seed):
+    r = np.random.default_rng(seed)
+    rows = r.integers(0, m, size=nnz)
+    cols = r.integers(0, n, size=nnz)
+    vals = r.standard_normal(nnz).astype(np.float32)
+    S = HybridMatrix.from_coo(
+        COOMatrix.from_arrays(rows, cols, vals, shape=(m, n))
+    )
+    A = r.standard_normal((n, k)).astype(np.float32)
+    out = spmm_reference(S, A)
+    np.testing.assert_allclose(
+        out, S.to_dense() @ A, rtol=1e-3, atol=1e-3
+    )

@@ -1,0 +1,112 @@
+"""Property-based invariants of the simulator and the tuner (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import (
+    DEFAULT_COST,
+    LaunchConfig,
+    TESLA_A30,
+    TESLA_V100,
+    WarpWorkload,
+    simulate_launch,
+)
+from repro.tuning import (
+    CANDIDATE_NNZ_PER_WARP,
+    feature_groups,
+    hvma_vector_width,
+    select_partition,
+)
+
+
+@st.composite
+def workloads(draw):
+    n = draw(st.integers(1, 400))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31 - 1)))
+    scale = draw(st.floats(0.1, 1000.0))
+    return WarpWorkload(
+        issue=rng.random(n) * scale,
+        l2_sectors=rng.random(n) * scale,
+        dram_sectors=rng.random(n) * scale,
+        fma=rng.random(n) * scale,
+    )
+
+
+CFG = LaunchConfig(warps_per_block=4)
+
+
+@given(workloads(), st.floats(1.01, 10.0))
+@settings(max_examples=40, deadline=None)
+def test_launch_time_monotone_in_work(work, factor):
+    t1 = simulate_launch(TESLA_V100, work, CFG).time_s
+    t2 = simulate_launch(TESLA_V100, work.scaled(factor), CFG).time_s
+    assert t2 >= t1 - 1e-12
+
+
+@given(workloads())
+@settings(max_examples=40, deadline=None)
+def test_launch_time_positive_and_bounded_below_by_overhead(work):
+    stats = simulate_launch(TESLA_V100, work, CFG)
+    assert stats.time_s >= TESLA_V100.kernel_launch_overhead_s
+    assert np.isfinite(stats.time_s)
+    assert stats.bound in ("balance", "issue", "fma", "l2", "dram", "atomic")
+
+
+@given(workloads())
+@settings(max_examples=40, deadline=None)
+def test_launch_critical_path_lower_bound(work):
+    # The launch can never finish faster than its slowest single block.
+    stats = simulate_launch(TESLA_V100, work, CFG)
+    assert stats.cycles >= stats.longest_block_cycles - 1e-9
+
+
+@given(workloads())
+@settings(max_examples=40, deadline=None)
+def test_faster_device_is_not_slower(work):
+    # Same silicon but double the SMs: never slower.
+    bigger = TESLA_V100.with_(num_sms=TESLA_V100.num_sms * 2)
+    t1 = simulate_launch(TESLA_V100, work, CFG).time_s
+    t2 = simulate_launch(bigger, work, CFG).time_s
+    assert t2 <= t1 + 1e-12
+
+
+@given(
+    st.integers(0, 10**8),
+    st.sampled_from([16, 32, 64, 128, 256, 512]),
+)
+@settings(max_examples=60, deadline=None)
+def test_dtp_selection_total_work_conserved(nnz, k):
+    part = select_partition(nnz, k, TESLA_V100)
+    assert part.nnz_per_warp in CANDIDATE_NNZ_PER_WARP
+    # Slices cover all nonzeros exactly once.
+    if nnz:
+        assert (part.num_slices - 1) * part.nnz_per_warp < nnz
+        assert part.num_slices * part.nnz_per_warp >= nnz
+    # Feature groups cover K.
+    assert part.num_feature_groups * 32 * part.vector_width >= min(k, 32)
+
+
+@given(st.sampled_from([8, 32, 64, 128, 256, 512]), st.integers(1, 1024))
+@settings(max_examples=80, deadline=None)
+def test_hvma_width_legal(npw, k):
+    vw = hvma_vector_width(npw, k)
+    assert vw in (1, 2, 4)
+    if vw > 1:
+        assert k % (32 * vw) == 0
+    assert feature_groups(k, vw) >= 1
+
+
+@given(
+    st.integers(1, 10**7),
+    st.sampled_from([32, 64, 128]),
+)
+@settings(max_examples=40, deadline=None)
+def test_dtp_consistent_across_devices(nnz, k):
+    # Both devices produce a legal partition; a smaller device (fewer
+    # SMs) never requires a larger NnzPerWarp than a bigger one for the
+    # same waves target.
+    v100 = select_partition(nnz, k, TESLA_V100)
+    a30 = select_partition(nnz, k, TESLA_A30)
+    assert a30.nnz_per_warp >= v100.nnz_per_warp

@@ -1,0 +1,72 @@
+"""Louvain community detection and GCR (paper Section III-C)."""
+
+import numpy as np
+
+from repro.graphs import community_graph
+from repro.gpusim import TESLA_V100
+from repro.kernels.common import estimate_hit_rate
+from repro.reorder import GCRReorderer, louvain_communities, modularity
+
+
+def planted(seed=0, n=3000, e=30_000, c=12, p=0.9):
+    return community_graph(
+        n, e, num_communities=c, p_in=p, seed=seed
+    )
+
+
+def test_louvain_recovers_planted_communities():
+    g = planted()
+    comm = louvain_communities(g)
+    num = int(comm.max()) + 1
+    # Louvain should find roughly the planted count (12), not 1 or n.
+    assert 4 <= num <= 60
+    assert modularity(g, comm) > 0.4
+
+
+def test_louvain_beats_random_assignment():
+    g = planted(seed=1)
+    comm = louvain_communities(g)
+    rng = np.random.default_rng(0)
+    random_comm = rng.integers(0, comm.max() + 1, size=comm.size)
+    assert modularity(g, comm) > modularity(g, random_comm) + 0.2
+
+
+def test_louvain_deterministic():
+    g = planted(seed=2)
+    a = louvain_communities(g, seed=5)
+    b = louvain_communities(g, seed=5)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_louvain_on_edgeless_graph():
+    from repro.formats import HybridMatrix
+
+    g = HybridMatrix.from_arrays([0, 1], [0, 1], None, shape=(2, 2))
+    comm = louvain_communities(g)  # only self-loops -> dropped
+    assert comm.size == 2
+
+
+def test_modularity_of_single_community_is_near_zero():
+    g = planted(seed=3)
+    comm = np.zeros(g.shape[0], dtype=np.int64)
+    assert abs(modularity(g, comm)) < 1e-6 + 1.0  # bounded
+    # All-in-one community: Q = 1 - sum((k/2m)^2) relative term -> ~0.
+    assert modularity(g, comm) < 0.05
+
+
+def test_gcr_groups_communities_contiguously():
+    g = planted(seed=4)
+    comm = louvain_communities(g)
+    perm = GCRReorderer().permutation(g)
+    reordered_comm = comm[perm]
+    # Community labels along the new order change only C-1 times.
+    changes = int(np.count_nonzero(np.diff(reordered_comm) != 0))
+    assert changes == int(comm.max())
+
+
+def test_gcr_improves_modeled_hit_rate():
+    g = planted(seed=5, n=20_000, e=200_000, c=60, p=0.85)
+    res = GCRReorderer().apply(g)
+    before = estimate_hit_rate(g.col, 256.0, TESLA_V100)
+    after = estimate_hit_rate(res.matrix.col, 256.0, TESLA_V100)
+    assert after > before + 0.05

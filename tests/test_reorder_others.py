@@ -1,0 +1,139 @@
+"""LSH/Jaccard, pair-merging and RCM reorderers."""
+
+import numpy as np
+import pytest
+
+from repro.formats import HybridMatrix
+from repro.graphs import community_graph
+from repro.reorder import (
+    LSHReorderer,
+    PairMergeReorderer,
+    RCMReorderer,
+    validate_permutation,
+)
+from repro.reorder.lsh import estimated_jaccard, exact_jaccard, minhash_signatures
+
+
+def small_graph(seed=0):
+    return community_graph(300, 2400, num_communities=6, p_in=0.9, seed=seed)
+
+
+def test_minhash_signature_shape():
+    g = small_graph()
+    sig = minhash_signatures(g, num_hashes=6)
+    assert sig.shape == (300, 6)
+
+
+def test_minhash_identical_rows_identical_signatures():
+    # Two rows with identical neighbor sets get identical signatures.
+    S = HybridMatrix.from_arrays(
+        [0, 0, 1, 1], [3, 7, 3, 7], None, shape=(4, 8)
+    )
+    sig = minhash_signatures(S, num_hashes=8)
+    np.testing.assert_array_equal(sig[0], sig[1])
+
+
+def test_minhash_empty_rows_get_sentinel():
+    S = HybridMatrix.from_arrays([0], [1], None, shape=(3, 3))
+    sig = minhash_signatures(S, num_hashes=4)
+    assert np.all(sig[1] == sig[2])  # both empty
+
+
+def test_exact_jaccard():
+    a = np.array([1, 2, 3])
+    b = np.array([2, 3, 4])
+    assert exact_jaccard(a, b) == pytest.approx(0.5)
+    assert exact_jaccard(a, a) == 1.0
+    assert exact_jaccard(np.array([]), np.array([])) == 0.0
+    assert exact_jaccard(a, np.array([9])) == 0.0
+
+
+def test_estimated_jaccard_tracks_exact():
+    # Similar neighbor sets -> high estimated similarity.
+    S = HybridMatrix.from_arrays(
+        [0] * 10 + [1] * 10 + [2] * 10,
+        list(range(10)) + list(range(10)) + list(range(50, 60)),
+        None,
+        shape=(3, 64),
+    )
+    sig = minhash_signatures(S, num_hashes=16)
+    sim01 = estimated_jaccard(sig[0], sig[1])
+    sim02 = estimated_jaccard(sig[0], sig[2])
+    assert sim01 > sim02
+
+
+def test_lsh_produces_valid_permutation():
+    g = small_graph(1)
+    perm = LSHReorderer().permutation(g)
+    validate_permutation(perm, g.shape[0])
+
+
+def test_lsh_band_size_validation():
+    with pytest.raises(ValueError):
+        LSHReorderer(num_hashes=8, band_size=3)
+
+
+def test_pairmerge_valid_permutation_small():
+    g = community_graph(60, 400, num_communities=4, p_in=0.9, seed=2)
+    perm = PairMergeReorderer().permutation(g)
+    validate_permutation(perm, g.shape[0])
+
+
+def test_pairmerge_tiny():
+    g = HybridMatrix.from_arrays([0, 1], [1, 0], None, shape=(2, 2))
+    np.testing.assert_array_equal(
+        PairMergeReorderer().permutation(g), [0, 1]
+    )
+
+
+def test_pairmerge_chains_similar_rows_adjacently():
+    # Rows 0/1 share neighbors; row 2 is disjoint: 0 and 1 are adjacent.
+    S = HybridMatrix.from_arrays(
+        [0, 0, 0, 1, 1, 1, 2, 2, 2],
+        [3, 4, 5, 3, 4, 5, 10, 11, 12],
+        None,
+        shape=(3, 16),
+    )
+    perm = PairMergeReorderer().permutation(S)
+    pos = {int(v): i for i, v in enumerate(perm)}
+    assert abs(pos[0] - pos[1]) == 1
+
+
+def test_rcm_valid_permutation():
+    g = small_graph(3)
+    perm = RCMReorderer().permutation(g)
+    validate_permutation(perm, g.shape[0])
+
+
+def test_rcm_reduces_bandwidth_on_path_graph():
+    # A shuffled path graph: RCM should recover a near-linear ordering
+    # with far smaller bandwidth than the shuffled one.
+    n = 200
+    rng = np.random.default_rng(0)
+    relabel = rng.permutation(n)
+    src = relabel[np.arange(n - 1)]
+    dst = relabel[np.arange(1, n)]
+    from repro.formats import COOMatrix
+
+    g = HybridMatrix.from_coo(
+        COOMatrix.from_arrays(
+            np.concatenate([src, dst]),
+            np.concatenate([dst, src]),
+            None,
+            shape=(n, n),
+        )
+    )
+    res = RCMReorderer().apply(g)
+
+    def bandwidth(h):
+        return int(np.max(np.abs(h.row.astype(int) - h.col.astype(int))))
+
+    assert bandwidth(res.matrix) < bandwidth(g) / 4
+
+
+def test_rcm_handles_disconnected_components():
+    S = HybridMatrix.from_arrays(
+        [0, 1, 3, 4], [1, 0, 4, 3], None, shape=(6, 6)
+    )
+    perm = RCMReorderer().permutation(S)
+    validate_permutation(perm, 6)

@@ -1,0 +1,127 @@
+"""DTP + HVMA: vector widths, candidate alignment, Ineq. 5 selection."""
+
+import pytest
+
+from repro.gpusim import TESLA_V100
+from repro.tuning import (
+    CANDIDATE_NNZ_PER_WARP,
+    TaskPartition,
+    feature_groups,
+    fixed_partition,
+    hvma_vector_width,
+    is_candidate_aligned,
+    naive_nnz_per_warp,
+    select_partition,
+    sparse_vector_width,
+)
+
+
+def test_hvma_width_rule():
+    # Paper: npw >= 128 -> float4, >= 64 -> float2, else scalar.
+    assert hvma_vector_width(128, 128) == 4
+    assert hvma_vector_width(256, 256) == 4
+    assert hvma_vector_width(64, 64) == 2
+    assert hvma_vector_width(32, 64) == 1
+    assert hvma_vector_width(8, 128) == 1
+
+
+def test_hvma_width_downgrades_on_indivisible_k():
+    assert hvma_vector_width(128, 64) == 2    # 64 % 128 != 0
+    assert hvma_vector_width(128, 96) == 1    # 96 % 128 and % 64 != 0
+    assert hvma_vector_width(64, 32) == 1
+
+
+def test_feature_groups():
+    assert feature_groups(32, 1) == 1
+    assert feature_groups(64, 1) == 2
+    assert feature_groups(64, 2) == 1
+    assert feature_groups(256, 4) == 2
+    with pytest.raises(ValueError):
+        feature_groups(0, 1)
+
+
+def test_candidates_are_all_aligned():
+    # Every candidate guarantees sector-aligned warp slice starts.
+    for cand in CANDIDATE_NNZ_PER_WARP:
+        assert is_candidate_aligned(cand)
+    assert not is_candidate_aligned(5)
+
+
+def test_sparse_vector_width():
+    assert sparse_vector_width(512) == 4
+    assert sparse_vector_width(64) == 2
+    assert sparse_vector_width(8) == 1
+    assert sparse_vector_width(100) == 1  # not aligned: int4 illegal
+
+
+def test_naive_nnz_per_warp():
+    assert naive_nnz_per_warp(100, 10) == 10
+    assert naive_nnz_per_warp(101, 10) == 11
+    assert naive_nnz_per_warp(5, 0) == 5
+    assert naive_nnz_per_warp(0, 10) == 1
+
+
+def test_select_partition_large_graph_prefers_large_candidate():
+    # 100M nnz: even npw=512 yields thousands of waves; DTP takes the max.
+    part = select_partition(100_000_000, 64, TESLA_V100)
+    assert part.nnz_per_warp == max(CANDIDATE_NNZ_PER_WARP)
+    assert part.satisfies_constraint
+    assert part.waves >= 4
+
+
+def test_select_partition_small_graph_exposes_parallelism():
+    # 10k nnz on an 80-SM device: no candidate reaches alpha waves; DTP
+    # falls back to the smallest granularity (maximal parallelism).
+    part = select_partition(10_000, 64, TESLA_V100)
+    assert part.nnz_per_warp == min(CANDIDATE_NNZ_PER_WARP)
+    assert not part.satisfies_constraint
+
+
+def test_select_partition_monotone_in_nnz():
+    sizes = [10_000, 300_000, 3_000_000, 100_000_000]
+    picks = [select_partition(n, 64, TESLA_V100).nnz_per_warp for n in sizes]
+    assert all(b >= a for a, b in zip(picks, picks[1:]))
+
+
+def test_select_partition_counts_feature_groups():
+    # Ineq. 5's K term: wider K multiplies the block count, so a wider K
+    # permits an equal or larger NnzPerWarp.
+    narrow = select_partition(500_000, 32, TESLA_V100)
+    wide = select_partition(500_000, 512, TESLA_V100)
+    assert wide.nnz_per_warp >= narrow.nnz_per_warp
+
+
+def test_select_partition_validates():
+    with pytest.raises(ValueError):
+        select_partition(-1, 64, TESLA_V100)
+    with pytest.raises(ValueError):
+        select_partition(100, 0, TESLA_V100)
+
+
+def test_fixed_partition():
+    part = fixed_partition(1000, 64, 128, device=TESLA_V100)
+    assert part.nnz_per_warp == 128
+    assert part.num_slices == 8  # ceil(1000/128)
+    assert part.num_warps == part.num_slices * part.num_feature_groups
+    with pytest.raises(ValueError):
+        fixed_partition(1000, 64, 0)
+
+
+def test_fixed_partition_scalar_override():
+    part = fixed_partition(1000, 64, 128, vector_width=1)
+    assert part.vector_width == 1
+    assert part.num_feature_groups == 2
+
+
+def test_partition_block_count():
+    part = TaskPartition(
+        nnz_per_warp=32,
+        vector_width=1,
+        warps_per_block=8,
+        num_slices=100,
+        num_feature_groups=2,
+        waves=1.0,
+        satisfies_constraint=True,
+    )
+    assert part.num_warps == 200
+    assert part.num_blocks == 25
