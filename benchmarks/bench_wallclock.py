@@ -1,0 +1,131 @@
+"""Wall-clock benchmark harness for the experiment pipelines.
+
+Times the heavy report pipelines (fig9, fig12, table3 by default) and
+writes a machine-readable ``BENCH_harness.json`` so the performance
+trajectory of the harness itself is measurable across PRs::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock.py
+    PYTHONPATH=src python benchmarks/bench_wallclock.py \
+        --pipelines fig9,table3 --max-edges 60000 --output /tmp/bench.json
+
+Each pipeline entry records wall-clock seconds plus the estimate-cache
+counters observed across the run (table3 re-runs the fig9/fig10 kernel ×
+graph combinations, so its cache hit count shows the memo layer doing
+its job).  Results are deterministic; the timings are the only
+machine-dependent values in the file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+DEFAULT_PIPELINES = ("fig9", "fig12", "table3")
+
+
+def run_pipelines(
+    pipelines: tuple[str, ...],
+    *,
+    max_edges: int | None = None,
+    subgraphs: int | None = None,
+    fig12_nodes: int | None = None,
+) -> dict:
+    """Run each pipeline once; returns the report payload."""
+    from repro.bench import EXPERIMENTS
+    from repro.perf import estimate_cache_stats, get_estimate_cache
+
+    get_estimate_cache().clear()
+    report: dict = {"pipelines": {}}
+    for name in pipelines:
+        if name not in EXPERIMENTS:
+            raise SystemExit(
+                f"unknown pipeline {name!r}; choose from {sorted(EXPERIMENTS)}"
+            )
+        kwargs = {}
+        if max_edges is not None and name != "fig12":
+            kwargs["max_edges"] = max_edges
+        if subgraphs is not None and name in ("fig10", "table3"):
+            kwargs["num_subgraphs"] = subgraphs
+        if fig12_nodes is not None and name == "fig12":
+            kwargs["num_nodes"] = fig12_nodes
+        before = estimate_cache_stats()
+        t0 = time.perf_counter()
+        EXPERIMENTS[name](**kwargs)
+        elapsed = time.perf_counter() - t0
+        after = estimate_cache_stats()
+        report["pipelines"][name] = {
+            "seconds": round(elapsed, 4),
+            "estimate_cache_hits": after.hits - before.hits,
+            "estimate_cache_misses": after.misses - before.misses,
+        }
+    cs = estimate_cache_stats()
+    report["estimate_cache"] = {
+        "hits": cs.hits,
+        "misses": cs.misses,
+        "hit_rate": round(cs.hit_rate, 4),
+        "entries": cs.entries,
+        "stored_bytes": cs.stored_bytes,
+    }
+    report["meta"] = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count(),
+        "repro_jobs": os.environ.get("REPRO_JOBS", "1"),
+        "max_edges": max_edges,
+        "subgraphs": subgraphs,
+        "fig12_nodes": fig12_nodes,
+    }
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--pipelines",
+        default=",".join(DEFAULT_PIPELINES),
+        help="comma-separated experiment ids (default: fig9,fig12,table3)",
+    )
+    parser.add_argument(
+        "--max-edges", type=int, default=None, help="edge cap for scaled graphs"
+    )
+    parser.add_argument(
+        "--subgraphs", type=int, default=None, help="sampling-dataset size"
+    )
+    parser.add_argument(
+        "--fig12-nodes", type=int, default=None, help="fig12 suite graph size"
+    )
+    parser.add_argument(
+        "--output",
+        default=os.path.join(REPO_ROOT, "BENCH_harness.json"),
+        help="report path (default: <repo>/BENCH_harness.json)",
+    )
+    args = parser.parse_args(argv)
+    pipelines = tuple(p.strip() for p in args.pipelines.split(",") if p.strip())
+    report = run_pipelines(
+        pipelines,
+        max_edges=args.max_edges,
+        subgraphs=args.subgraphs,
+        fig12_nodes=args.fig12_nodes,
+    )
+    with open(args.output, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+    for name, row in report["pipelines"].items():
+        print(
+            f"{name:>8}: {row['seconds']:8.2f}s  "
+            f"(cache {row['estimate_cache_hits']} hits / "
+            f"{row['estimate_cache_misses']} misses)"
+        )
+    print(f"-> {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,19 +3,23 @@
 Usage::
 
     python -m repro.bench fig9 [--k 64] [--max-edges 1500000]
-    python -m repro.bench all
+    python -m repro.bench all --jobs 4
     python -m repro.bench list
 
 Reports are printed and written under ``results/`` (override with
-REPRO_RESULTS_DIR).
+REPRO_RESULTS_DIR).  ``--jobs N`` (or ``REPRO_JOBS``) fans sweep work
+over N worker processes; ``--timing`` appends a wall-clock + estimate
+cache summary line per experiment.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
+from ..perf import estimate_cache_stats
 from . import EXPERIMENTS, write_report
 
 
@@ -36,7 +40,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--subgraphs", type=int, default=None, help="sampling-dataset size (fig10/table3)"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for sweeps (sets REPRO_JOBS; 0 = all cores)",
+    )
+    parser.add_argument(
+        "--timing",
+        action="store_true",
+        help="print per-experiment wall-clock and estimate-cache stats",
+    )
     args = parser.parse_args(argv)
+    if args.jobs is not None:
+        os.environ["REPRO_JOBS"] = str(args.jobs)
 
     if args.experiment == "list":
         for name in EXPERIMENTS:
@@ -66,6 +83,13 @@ def main(argv: list[str] | None = None) -> int:
         print(text)
         path = write_report(name, text)
         print(f"[{name} done in {time.time() - t0:.1f}s -> {path}]\n")
+        if args.timing:
+            cs = estimate_cache_stats()
+            print(
+                f"[timing {name}: {time.time() - t0:.2f}s | estimate cache "
+                f"{cs.hits} hits / {cs.misses} misses "
+                f"({100.0 * cs.hit_rate:.0f}%), {cs.entries} entries]\n"
+            )
     return 0
 
 

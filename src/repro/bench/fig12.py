@@ -11,8 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..gpusim import DeviceSpec, TESLA_V100
-from ..graphs import pearson_r, variance_suite
+from ..graphs import DegreeStats, pearson_r, variance_graph, variance_suite_specs
 from ..kernels import make_spmm
+from ..perf import parallel_map
 from .tables import render_table
 
 
@@ -38,6 +39,23 @@ class Fig12Result:
         return table + f"\nPearson's r = {self.pearson:.3f} (paper: 0.90)"
 
 
+def _fig12_one_graph(
+    item: tuple[tuple[int, float, float, int], int, DeviceSpec],
+) -> tuple[float, float, float]:
+    """Generate one suite graph and time both kernels on it.
+
+    Module-level so ``parallel_map`` can fan graph construction *and*
+    estimation over worker processes (each graph is independent).
+    Returns ``(degree std, mean degree, speedup)``.
+    """
+    spec, k, device = item
+    graph = variance_graph(spec)
+    st = DegreeStats.of(graph)
+    t_hp = make_spmm("hp-spmm").estimate(graph, k, device).stats.time_s
+    t_ge = make_spmm("ge-spmm").estimate(graph, k, device).stats.time_s
+    return st.std, st.mean, t_ge / t_hp
+
+
 def run_fig12(
     *,
     k: int = 64,
@@ -48,21 +66,21 @@ def run_fig12(
     seed: int = 7,
 ) -> Fig12Result:
     """Run the degree-variance sensitivity experiment."""
-    hp = make_spmm("hp-spmm")
-    ge = make_spmm("ge-spmm")
-    suite = variance_suite(
+    specs = variance_suite_specs(
         num_graphs=num_graphs,
         num_nodes=num_nodes,
         mean_degree=mean_degree,
         seed=seed,
     )
-    stds, speedups, means = [], [], []
-    for graph, st in suite:
-        t_hp = hp.estimate(graph, k, device).stats.time_s
-        t_ge = ge.estimate(graph, k, device).stats.time_s
-        stds.append(st.std)
-        means.append(st.mean)
-        speedups.append(t_ge / t_hp)
+    rows = parallel_map(
+        _fig12_one_graph, [(spec, k, device) for spec in specs]
+    )
+    # Ascending std-dev order, as in the paper's figure (and as
+    # variance_suite orders the graphs).
+    rows.sort(key=lambda r: r[0])
+    stds = [r[0] for r in rows]
+    means = [r[1] for r in rows]
+    speedups = [r[2] for r in rows]
     return Fig12Result(
         stds=stds,
         speedups=speedups,

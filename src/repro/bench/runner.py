@@ -16,6 +16,7 @@ import numpy as np
 from ..formats import HybridMatrix
 from ..gpusim import DeviceSpec, TESLA_V100
 from ..kernels import make_sddmm, make_spmm
+from ..perf import parallel_map
 
 #: Paper kernel display names for the standard comparison sets.
 SPMM_BASELINES: tuple[str, ...] = (
@@ -69,30 +70,69 @@ class SweepResult:
         return float(s.mean()), float(100.0 * np.mean(s > 1.0))
 
 
+#: op -> kernel factory, for the unified sweep body.
+_SWEEP_MAKERS = {"spmm": make_spmm, "sddmm": make_sddmm}
+
+
+def _sweep_one_graph(
+    item: tuple[str, str, HybridMatrix, tuple[str, ...], int, DeviceSpec],
+) -> list[KernelRun]:
+    """All kernels on one graph — the unit of work fanned over workers.
+
+    Module-level (picklable) so :func:`repro.perf.parallel_map` can ship
+    it to a process pool; estimates are deterministic, so parallel and
+    serial sweeps return identical runs.
+    """
+    op, gname, S, kernels, k, device = item
+    make = _SWEEP_MAKERS[op]
+    flops = 2.0 * S.nnz * k
+    runs = []
+    for kname in kernels:
+        res = make(kname).estimate(S, k, device)
+        runs.append(
+            KernelRun(
+                graph=gname,
+                kernel=kname,
+                time_s=res.stats.time_s,
+                preprocessing_s=res.preprocessing_s,
+                gflops=res.stats.throughput_gflops(flops),
+            )
+        )
+    return runs
+
+
+def _sweep(
+    op: str,
+    graphs: list[tuple[str, HybridMatrix]],
+    kernels: tuple[str, ...],
+    *,
+    k: int,
+    device: DeviceSpec,
+    jobs: int | None,
+) -> SweepResult:
+    out = SweepResult(device=device.name, k=k)
+    items = [
+        (op, gname, S, tuple(kernels), k, device) for gname, S in graphs
+    ]
+    for runs in parallel_map(_sweep_one_graph, items, jobs=jobs):
+        out.runs.extend(runs)
+    return out
+
+
 def sweep_spmm(
     graphs: list[tuple[str, HybridMatrix]],
     kernels: tuple[str, ...],
     *,
     k: int = 64,
     device: DeviceSpec = TESLA_V100,
+    jobs: int | None = None,
 ) -> SweepResult:
-    """Timing-only SpMM sweep of ``kernels`` over named graphs."""
-    out = SweepResult(device=device.name, k=k)
-    instances = {name: make_spmm(name) for name in kernels}
-    for gname, S in graphs:
-        flops = 2.0 * S.nnz * k
-        for kname, kern in instances.items():
-            res = kern.estimate(S, k, device)
-            out.runs.append(
-                KernelRun(
-                    graph=gname,
-                    kernel=kname,
-                    time_s=res.stats.time_s,
-                    preprocessing_s=res.preprocessing_s,
-                    gflops=res.stats.throughput_gflops(flops) / 1.0,
-                )
-            )
-    return out
+    """Timing-only SpMM sweep of ``kernels`` over named graphs.
+
+    ``jobs`` (default: the ``REPRO_JOBS`` environment variable) fans
+    per-graph work over a process pool; results keep graph order.
+    """
+    return _sweep("spmm", graphs, kernels, k=k, device=device, jobs=jobs)
 
 
 def sweep_sddmm(
@@ -101,24 +141,10 @@ def sweep_sddmm(
     *,
     k: int = 64,
     device: DeviceSpec = TESLA_V100,
+    jobs: int | None = None,
 ) -> SweepResult:
     """Timing-only SDDMM sweep of ``kernels`` over named graphs."""
-    out = SweepResult(device=device.name, k=k)
-    instances = {name: make_sddmm(name) for name in kernels}
-    for gname, S in graphs:
-        flops = 2.0 * S.nnz * k
-        for kname, kern in instances.items():
-            res = kern.estimate(S, k, device)
-            out.runs.append(
-                KernelRun(
-                    graph=gname,
-                    kernel=kname,
-                    time_s=res.stats.time_s,
-                    preprocessing_s=res.preprocessing_s,
-                    gflops=res.stats.throughput_gflops(flops),
-                )
-            )
-    return out
+    return _sweep("sddmm", graphs, kernels, k=k, device=device, jobs=jobs)
 
 
 def results_dir() -> str:

@@ -8,7 +8,14 @@ and a roofline + critical-path launch timer that reproduces load
 imbalance and the tail effect.
 """
 
-from .cache import CacheStats, FootprintCacheModel, LRUCache, reuse_times, sampled_footprint
+from .cache import (
+    CacheStats,
+    FootprintCacheModel,
+    LRUCache,
+    previous_positions,
+    reuse_times,
+    sampled_footprint,
+)
 from .costmodel import DEFAULT_COST, CostParams, WarpWorkload, warp_critical_cycles
 from .device import (
     DEVICES,
@@ -39,6 +46,7 @@ __all__ = [
     "CacheStats",
     "FootprintCacheModel",
     "LRUCache",
+    "previous_positions",
     "reuse_times",
     "sampled_footprint",
     "DEFAULT_COST",

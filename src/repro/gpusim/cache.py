@@ -25,11 +25,13 @@ from dataclasses import dataclass
 import numpy as np
 
 
-def reuse_times(stream: np.ndarray) -> np.ndarray:
-    """Accesses elapsed since the previous access to the same item.
+def previous_positions(stream: np.ndarray) -> np.ndarray:
+    """Position of the previous access to the same item, or ``-1``.
 
-    Returns an int64 array aligned with ``stream``; first-ever accesses get
-    ``-1``.  Vectorized: O(n log n) via a stable sort on item id.
+    Vectorized: O(n log n) via a stable sort on item id.  This array is
+    the shared substrate of both :func:`reuse_times` (``i - prev[i]``)
+    and :func:`sampled_footprint` (an access is the first of its item
+    within window ``[s, s+w)`` iff ``prev[i] < s``).
     """
     stream = np.asarray(stream)
     n = stream.size
@@ -38,16 +40,23 @@ def reuse_times(stream: np.ndarray) -> np.ndarray:
     order = np.argsort(stream, kind="stable")
     sorted_items = stream[order]
     pos = order.astype(np.int64)
-    same_as_prev = np.empty(n, dtype=bool)
-    same_as_prev[0] = False
-    same_as_prev[1:] = sorted_items[1:] == sorted_items[:-1]
-    deltas = np.empty(n, dtype=np.int64)
-    deltas[0] = -1
-    deltas[1:] = pos[1:] - pos[:-1]
-    deltas[~same_as_prev] = -1
-    out = np.empty(n, dtype=np.int64)
-    out[pos] = deltas
+    out = np.full(n, -1, dtype=np.int64)
+    same_as_prev = sorted_items[1:] == sorted_items[:-1]
+    out[pos[1:]] = np.where(same_as_prev, pos[:-1], -1)
     return out
+
+
+def reuse_times(stream: np.ndarray) -> np.ndarray:
+    """Accesses elapsed since the previous access to the same item.
+
+    Returns an int64 array aligned with ``stream``; first-ever accesses get
+    ``-1``.
+    """
+    prev = previous_positions(stream)
+    n = prev.size
+    if n == 0:
+        return prev
+    return np.where(prev >= 0, np.arange(n, dtype=np.int64) - prev, -1)
 
 
 def sampled_footprint(
@@ -55,18 +64,29 @@ def sampled_footprint(
     window_sizes: np.ndarray,
     samples_per_size: int = 48,
     seed: int = 0,
+    *,
+    prev: np.ndarray | None = None,
 ) -> np.ndarray:
     """Estimate the average number of distinct items in windows of each size.
 
-    For each window size ``w`` the estimator averages ``np.unique`` counts
-    over ``samples_per_size`` windows at deterministic, evenly-spread
-    offsets (salted by ``seed``).  The result is forced monotone
-    non-decreasing in ``w`` (footprints are, in expectation).
+    For each window size ``w`` the estimator averages exact distinct
+    counts over ``samples_per_size`` windows at deterministic,
+    evenly-spread offsets (salted by ``seed``).  The result is forced
+    monotone non-decreasing in ``w`` (footprints are, in expectation).
+
+    The count for a window ``[s, s+w)`` is the number of accesses whose
+    previous same-item access falls before ``s`` — a single vectorized
+    comparison against the :func:`previous_positions` array, instead of
+    hashing every window with ``np.unique`` (which dominated whole
+    experiment pipelines).  Callers that already hold the ``prev`` array
+    can pass it to skip the one O(n log n) sort.
     """
     stream = np.asarray(stream)
     n = stream.size
     out = np.empty(len(window_sizes), dtype=np.float64)
     rng = np.random.default_rng(seed)
+    if prev is None:
+        prev = previous_positions(stream)
     for i, w in enumerate(window_sizes):
         w = int(min(w, n))
         if w <= 0:
@@ -80,7 +100,9 @@ def sampled_footprint(
             starts = np.unique(
                 (rng.random(k) * (max_start + 1)).astype(np.int64)
             )
-        counts = [np.unique(stream[s : s + w]).size for s in starts]
+        counts = [
+            int(np.count_nonzero(prev[s : s + w] < s)) for s in starts
+        ]
         out[i] = float(np.mean(counts))
     return np.maximum.accumulate(out)
 
@@ -147,9 +169,11 @@ class FootprintCacheModel:
         n = stream.size
         if n == 0:
             return CacheStats(accesses=0, hits=0)
-        t = reuse_times(stream)
+        prev = previous_positions(stream)
+        t = np.where(prev >= 0, np.arange(n, dtype=np.int64) - prev, -1)
         cap = self.capacity_items
-        if cap >= np.unique(stream).size:
+        # Distinct items == first-ever accesses (prev < 0).
+        if cap >= int(np.count_nonzero(prev < 0)):
             # Everything fits: every non-cold access hits.
             hits = int(np.count_nonzero(t >= 0))
             return CacheStats(accesses=n, hits=hits)
@@ -157,7 +181,11 @@ class FootprintCacheModel:
             np.geomspace(1, n, num=self.NUM_WINDOW_SIZES).astype(np.int64)
         )
         fp = sampled_footprint(
-            stream, sizes, samples_per_size=self.samples_per_size, seed=self.seed
+            stream,
+            sizes,
+            samples_per_size=self.samples_per_size,
+            seed=self.seed,
+            prev=prev,
         )
         # Largest reuse time whose footprint still fits in the cache.
         fits = fp <= cap

@@ -26,7 +26,13 @@ from .samplers import (
     saint_node_sampler,
     saint_walk_sampler,
 )
-from .stats import DegreeStats, pearson_r, variance_suite
+from .stats import (
+    DegreeStats,
+    pearson_r,
+    variance_graph,
+    variance_suite,
+    variance_suite_specs,
+)
 
 __all__ = [
     "chung_lu_graph",
@@ -50,5 +56,7 @@ __all__ = [
     "saint_walk_sampler",
     "DegreeStats",
     "pearson_r",
+    "variance_graph",
     "variance_suite",
+    "variance_suite_specs",
 ]

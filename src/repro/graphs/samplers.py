@@ -40,7 +40,11 @@ class Subgraph:
 
 def induced_subgraph(parent: HybridMatrix, nodes: np.ndarray) -> HybridMatrix:
     """Induced subgraph on ``nodes`` (parent ids, deduplicated + sorted)."""
-    nodes = np.unique(np.asarray(nodes, dtype=np.int64))
+    nodes = np.asarray(nodes, dtype=np.int64)
+    # Every sampler hands us an np.unique output already; only re-sort
+    # when the strictly-increasing invariant doesn't hold.
+    if nodes.size > 1 and not bool(np.all(nodes[1:] > nodes[:-1])):
+        nodes = np.unique(nodes)
     n = parent.shape[0]
     relabel = np.full(n, -1, dtype=np.int64)
     relabel[nodes] = np.arange(nodes.size, dtype=np.int64)
@@ -101,18 +105,22 @@ def saint_walk_sampler(
     indptr = parent.indptr()
     num_roots = min(num_roots, n)
     frontier = rng.choice(n, size=num_roots, replace=False)
-    visited = [frontier]
+    # All walk positions land in one preallocated (L+1, roots) matrix —
+    # no per-step array copies or list concatenation.
+    visited = np.empty((walk_length + 1, num_roots), dtype=np.int64)
+    visited[0] = frontier
     current = frontier.astype(np.int64)
-    for _ in range(walk_length):
+    for step in range(walk_length):
         deg = indptr[current + 1] - indptr[current]
-        has = deg > 0
+        has = np.flatnonzero(deg > 0)
         nxt = current.copy()
-        if has.any():
-            offs = (rng.random(int(has.sum())) * deg[has]).astype(np.int64)
-            nxt[has] = parent.col[indptr[current[has]] + offs]
+        if has.size:
+            movers = current[has]
+            offs = (rng.random(has.size) * deg[has]).astype(np.int64)
+            nxt[has] = parent.col[indptr[movers] + offs]
         current = nxt
-        visited.append(current.copy())
-    nodes = np.unique(np.concatenate(visited))
+        visited[step + 1] = current
+    nodes = np.unique(visited.ravel())
     return Subgraph(
         matrix=induced_subgraph(parent, nodes),
         node_map=nodes,
@@ -141,11 +149,11 @@ def sage_neighbor_sampler(
         total = int(take.sum())
         if total == 0:
             break
-        rep = np.repeat(frontier, take)
-        rep_deg = np.repeat(deg, take)
-        rep_base = np.repeat(indptr[frontier], take)
-        offs = (rng.random(total) * rep_deg).astype(np.int64)
-        neigh = parent.col[rep_base + offs].astype(np.int64)
+        # One repeat of frontier *positions*, then gathers — instead of
+        # materializing three independent np.repeat expansions.
+        rep_idx = np.repeat(np.arange(frontier.size), take)
+        offs = (rng.random(total) * deg[rep_idx]).astype(np.int64)
+        neigh = parent.col[indptr[frontier[rep_idx]] + offs].astype(np.int64)
         layers.append(neigh)
         frontier = np.unique(neigh)
     nodes = np.unique(np.concatenate(layers))

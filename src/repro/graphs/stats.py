@@ -36,6 +36,31 @@ class DegreeStats:
         )
 
 
+def variance_suite_specs(
+    *,
+    num_graphs: int = 10,
+    num_nodes: int = 24_000,
+    mean_degree: float = 23.0,
+    sigma_range: tuple[float, float] = (0.1, 2.1),
+    seed: int = 7,
+) -> list[tuple[int, float, float, int]]:
+    """Generator parameters ``(nodes, mean_degree, sigma, seed)`` of the
+    Fig. 12 suite — one tuple per graph, so harnesses can build (and
+    evaluate) each graph independently, e.g. in worker processes.
+    """
+    sigmas = np.linspace(sigma_range[0], sigma_range[1], num_graphs)
+    return [
+        (num_nodes, mean_degree, float(sigma), seed + i)
+        for i, sigma in enumerate(sigmas)
+    ]
+
+
+def variance_graph(spec: tuple[int, float, float, int]) -> HybridMatrix:
+    """Materialize one :func:`variance_suite_specs` entry."""
+    num_nodes, mean_degree, sigma, seed = spec
+    return lognormal_degree_graph(num_nodes, mean_degree, sigma, seed=seed)
+
+
 def variance_suite(
     *,
     num_graphs: int = 10,
@@ -50,12 +75,16 @@ def variance_suite(
     ascending degree standard deviation; we synthesize the analogue with
     log-normal expected degrees swept over ``sigma_range``.
     """
-    sigmas = np.linspace(sigma_range[0], sigma_range[1], num_graphs)
+    specs = variance_suite_specs(
+        num_graphs=num_graphs,
+        num_nodes=num_nodes,
+        mean_degree=mean_degree,
+        sigma_range=sigma_range,
+        seed=seed,
+    )
     out = []
-    for i, sigma in enumerate(sigmas):
-        g = lognormal_degree_graph(
-            num_nodes, mean_degree, float(sigma), seed=seed + i
-        )
+    for spec in specs:
+        g = variance_graph(spec)
         out.append((g, DegreeStats.of(g)))
     # Ascending std-dev order, as in the paper's figure.
     out.sort(key=lambda t: t[1].std)

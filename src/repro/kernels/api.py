@@ -21,6 +21,7 @@ import numpy as np
 
 from ..formats import HybridMatrix
 from ..gpusim import DEFAULT_COST, CostParams, DeviceSpec, KernelStats, TESLA_V100
+from ..perf.estimate_cache import cached_estimate
 
 
 @dataclass(frozen=True)
@@ -87,10 +88,16 @@ class SpMMKernel(abc.ABC):
         device: DeviceSpec = TESLA_V100,
         cost: CostParams = DEFAULT_COST,
     ) -> SpMMResult:
-        """Timing-only evaluation: no numerics are computed."""
+        """Timing-only evaluation: no numerics are computed.
+
+        Routed through :mod:`repro.perf.estimate_cache` — estimates are
+        pure functions of their inputs, so repeat sweeps over the same
+        (matrix, kernel, K, device, cost) tuple are memo hits.  Set
+        ``REPRO_NO_ESTIMATE_CACHE=1`` to bypass.
+        """
         if k <= 0:
             raise ValueError("k must be positive")
-        stats, pre = self._estimate(S, int(k), device, cost)
+        stats, pre = cached_estimate(self, "spmm", S, int(k), device, cost)
         return SpMMResult(output=None, stats=stats, preprocessing_s=pre)
 
     def run(
@@ -104,7 +111,9 @@ class SpMMKernel(abc.ABC):
         from .reference import spmm_reference
 
         A = validate_spmm_operands(S, A)
-        stats, pre = self._estimate(S, A.shape[1], device, cost)
+        stats, pre = cached_estimate(
+            self, "spmm", S, A.shape[1], device, cost
+        )
         return SpMMResult(
             output=spmm_reference(S, A), stats=stats, preprocessing_s=pre
         )
@@ -140,10 +149,13 @@ class SDDMMKernel(abc.ABC):
         device: DeviceSpec = TESLA_V100,
         cost: CostParams = DEFAULT_COST,
     ) -> SDDMMResult:
-        """Timing-only evaluation: no numerics are computed."""
+        """Timing-only evaluation: no numerics are computed.
+
+        Memoized exactly like :meth:`SpMMKernel.estimate`.
+        """
         if k <= 0:
             raise ValueError("k must be positive")
-        stats, pre = self._estimate(S, int(k), device, cost)
+        stats, pre = cached_estimate(self, "sddmm", S, int(k), device, cost)
         return SDDMMResult(values=None, stats=stats, preprocessing_s=pre)
 
     def run(
@@ -158,7 +170,9 @@ class SDDMMKernel(abc.ABC):
         from .reference import sddmm_reference
 
         A1, A2T = validate_sddmm_operands(S, A1, A2T)
-        stats, pre = self._estimate(S, A1.shape[1], device, cost)
+        stats, pre = cached_estimate(
+            self, "sddmm", S, A1.shape[1], device, cost
+        )
         return SDDMMResult(
             values=sddmm_reference(S, A1, A2T), stats=stats, preprocessing_s=pre
         )

@@ -127,7 +127,7 @@ def _hp_sddmm_workload(
     dram = sparse_dram + a2_dram + a1_dram + store_sectors
 
     def rep(a: np.ndarray) -> np.ndarray:
-        return np.repeat(a, groups)
+        return a if groups == 1 else np.repeat(a, groups)
 
     work = WarpWorkload(
         issue=rep(issue),

@@ -122,9 +122,10 @@ def _hp_spmm_workload(
     dram = sparse_dram + dense_dram + write_sectors
 
     # Replicate the per-slice workload across feature groups, interleaved
-    # so a block holds all groups of consecutive slices.
+    # so a block holds all groups of consecutive slices.  The common
+    # K <= 32*vw case has a single group: no copies needed.
     def rep(a: np.ndarray) -> np.ndarray:
-        return np.repeat(a, groups)
+        return a if groups == 1 else np.repeat(a, groups)
 
     work = WarpWorkload(
         issue=rep(issue),

@@ -1,0 +1,41 @@
+"""Experiment-acceleration subsystem: estimate memoization + fan-out.
+
+Three pillars (DESIGN.md §2, "perf/"):
+
+* :mod:`repro.perf.fingerprint` — content fingerprints of matrices,
+  devices, cost params and kernel configurations;
+* :mod:`repro.perf.estimate_cache` — the sweep-level memo layer every
+  ``SpMMKernel.estimate`` / ``SDDMMKernel.estimate`` call routes
+  through (in-process LRU + optional on-disk JSON store);
+* :mod:`repro.perf.parallel` — ``REPRO_JOBS``-controlled process-pool
+  ``parallel_map`` with deterministic ordering and serial fallback.
+"""
+
+from .estimate_cache import (
+    EstimateCache,
+    EstimateCacheStats,
+    cache_enabled,
+    cached_estimate,
+    estimate_cache_stats,
+    get_estimate_cache,
+)
+from .fingerprint import (
+    dataclass_fingerprint,
+    kernel_config_fingerprint,
+    matrix_fingerprint,
+)
+from .parallel import parallel_map, resolve_jobs
+
+__all__ = [
+    "EstimateCache",
+    "EstimateCacheStats",
+    "cache_enabled",
+    "cached_estimate",
+    "estimate_cache_stats",
+    "get_estimate_cache",
+    "dataclass_fingerprint",
+    "kernel_config_fingerprint",
+    "matrix_fingerprint",
+    "parallel_map",
+    "resolve_jobs",
+]

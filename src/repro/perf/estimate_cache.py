@@ -1,0 +1,258 @@
+"""Sweep-level memo cache for simulated kernel estimates.
+
+Every ``estimate()`` in the kernel API is deterministic, yet the harness
+historically recomputed it per sweep — ``table3`` re-runs the exact
+``fig9``/``fig10`` kernel×graph combinations on two devices.  This cache
+memoizes ``(matrix structure, kernel, K, device, cost params) ->
+(KernelStats, preprocessing_s)`` behind two layers:
+
+* an in-process LRU (:class:`EstimateCache`), always on unless disabled;
+* an optional on-disk JSON store (one file per entry, atomic writes),
+  enabled by pointing ``REPRO_ESTIMATE_CACHE_DIR`` at a directory —
+  mirroring the ``~/.cache/repro-graphs`` pattern of
+  :mod:`repro.graphs.registry`, including the delete-and-regenerate
+  recovery for corrupt entries.
+
+Environment variables
+---------------------
+``REPRO_NO_ESTIMATE_CACHE``
+    Any value other than empty/``0`` bypasses the cache entirely.
+``REPRO_ESTIMATE_CACHE_DIR``
+    Directory for the persistent layer (off when unset).
+``REPRO_ESTIMATE_CACHE_SIZE``
+    In-process LRU capacity in entries (default 4096).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import OrderedDict
+from dataclasses import asdict, dataclass
+
+from ..gpusim import CostParams, DeviceSpec, KernelStats
+from .fingerprint import (
+    dataclass_fingerprint,
+    kernel_config_fingerprint,
+    matrix_fingerprint,
+)
+
+#: Cached payload: the simulated stats plus modeled preprocessing time.
+Entry = tuple[KernelStats, float]
+
+
+@dataclass(frozen=True)
+class EstimateCacheStats:
+    """Counter snapshot for hit/miss accounting."""
+
+    hits: int
+    misses: int
+    disk_hits: int
+    disk_errors: int
+    evictions: int
+    entries: int
+    stored_bytes: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class EstimateCache:
+    """In-process LRU over estimate results, with optional disk spill."""
+
+    def __init__(self, max_entries: int = 4096, disk_dir: str | None = None):
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = int(max_entries)
+        self.disk_dir = disk_dir
+        self._lru: OrderedDict[str, Entry] = OrderedDict()
+        self._stored_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+        self.disk_errors = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+    @staticmethod
+    def make_key(
+        op: str,
+        kernel,
+        S,
+        k: int,
+        device: DeviceSpec,
+        cost: CostParams,
+    ) -> str:
+        """Full content-addressed key for one estimate call."""
+        return "&".join(
+            (
+                op,
+                kernel_config_fingerprint(kernel),
+                matrix_fingerprint(S),
+                f"k={int(k)}",
+                dataclass_fingerprint(device),
+                dataclass_fingerprint(cost),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Entry | None:
+        entry = self._lru.get(key)
+        if entry is not None:
+            self._lru.move_to_end(key)
+            self.hits += 1
+            return entry
+        entry = self._disk_get(key)
+        if entry is not None:
+            self.hits += 1
+            self.disk_hits += 1
+            self._store_mem(key, entry)
+            return entry
+        self.misses += 1
+        return None
+
+    def put(self, key: str, stats: KernelStats, preprocessing_s: float) -> None:
+        entry = (stats, float(preprocessing_s))
+        self._store_mem(key, entry)
+        self._disk_put(key, entry)
+
+    def clear(self) -> None:
+        """Drop all in-memory entries and reset counters."""
+        self._lru.clear()
+        self._stored_bytes = 0
+        self.hits = self.misses = 0
+        self.disk_hits = self.disk_errors = self.evictions = 0
+
+    def stats(self) -> EstimateCacheStats:
+        return EstimateCacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            disk_hits=self.disk_hits,
+            disk_errors=self.disk_errors,
+            evictions=self.evictions,
+            entries=len(self._lru),
+            stored_bytes=self._stored_bytes,
+        )
+
+    def _store_mem(self, key: str, entry: Entry) -> None:
+        if key in self._lru:
+            self._lru.move_to_end(key)
+            return
+        while len(self._lru) >= self.max_entries:
+            old_key, _ = self._lru.popitem(last=False)
+            self._stored_bytes -= self._entry_bytes(old_key)
+            self.evictions += 1
+        self._lru[key] = entry
+        self._stored_bytes += self._entry_bytes(key)
+
+    @staticmethod
+    def _entry_bytes(key: str) -> int:
+        # Key string + ~25 numeric KernelStats fields at 8 bytes each.
+        return len(key) + 25 * 8
+
+    # ------------------------------------------------------------------
+    # Disk layer
+    # ------------------------------------------------------------------
+    def _disk_path(self, key: str) -> str | None:
+        if not self.disk_dir:
+            return None
+        digest = hashlib.blake2b(key.encode(), digest_size=16).hexdigest()
+        return os.path.join(self.disk_dir, f"est-{digest}-v1.json")
+
+    def _disk_get(self, key: str) -> Entry | None:
+        path = self._disk_path(key)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            with open(path) as f:
+                payload = json.load(f)
+            if payload["key"] != key:  # digest collision: treat as miss
+                return None
+            stats = KernelStats(**payload["stats"])
+            return stats, float(payload["preprocessing_s"])
+        except Exception:
+            # Corrupt entry: delete and let the caller regenerate (same
+            # recovery path as graphs.registry._load_cached).
+            self.disk_errors += 1
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+
+    def _disk_put(self, key: str, entry: Entry) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        stats, pre = entry
+        payload = {"key": key, "stats": asdict(stats), "preprocessing_s": pre}
+        try:
+            os.makedirs(self.disk_dir, exist_ok=True)
+            tmp = f"{path}.tmp.{os.getpid()}"
+            with open(tmp, "w") as f:
+                json.dump(payload, f)
+            os.replace(tmp, path)
+        except OSError:
+            self.disk_errors += 1
+
+
+# ----------------------------------------------------------------------
+# Process-wide singleton + the kernel-API entry point
+# ----------------------------------------------------------------------
+_GLOBAL_CACHE: EstimateCache | None = None
+
+
+def cache_enabled() -> bool:
+    """False when ``REPRO_NO_ESTIMATE_CACHE`` opts out (read per call)."""
+    flag = os.environ.get("REPRO_NO_ESTIMATE_CACHE", "").strip()
+    return flag in ("", "0")
+
+
+def get_estimate_cache() -> EstimateCache:
+    """The process-wide cache (created on first use)."""
+    global _GLOBAL_CACHE
+    disk_dir = os.environ.get("REPRO_ESTIMATE_CACHE_DIR") or None
+    size = int(os.environ.get("REPRO_ESTIMATE_CACHE_SIZE", "4096"))
+    if (
+        _GLOBAL_CACHE is None
+        or _GLOBAL_CACHE.disk_dir != disk_dir
+        or _GLOBAL_CACHE.max_entries != size
+    ):
+        _GLOBAL_CACHE = EstimateCache(max_entries=size, disk_dir=disk_dir)
+    return _GLOBAL_CACHE
+
+
+def estimate_cache_stats() -> EstimateCacheStats:
+    """Counter snapshot of the process-wide cache."""
+    return get_estimate_cache().stats()
+
+
+def cached_estimate(
+    kernel,
+    op: str,
+    S,
+    k: int,
+    device: DeviceSpec,
+    cost: CostParams,
+) -> Entry:
+    """Memoized ``kernel._estimate`` — the routing point for the API."""
+    if not cache_enabled():
+        return kernel._estimate(S, k, device, cost)
+    cache = get_estimate_cache()
+    key = cache.make_key(op, kernel, S, k, device, cost)
+    entry = cache.get(key)
+    if entry is None:
+        stats, pre = kernel._estimate(S, k, device, cost)
+        entry = (stats, float(pre))
+        cache.put(key, stats, pre)
+    return entry

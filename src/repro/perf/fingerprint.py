@@ -1,0 +1,94 @@
+"""Content fingerprints for estimate-cache keys.
+
+A simulated kernel estimate is a pure function of ``(matrix structure,
+kernel name + configuration, K, device, cost params)`` (DESIGN.md §1,
+"Determinism").  This module turns each of those inputs into a short,
+stable string so the tuple can address a memo entry — in process or on
+disk — without holding a reference to the original objects.
+
+Matrix fingerprints hash the *structure* (shape, nnz, row/col index
+bytes); stored values never enter a cost model, so two matrices with the
+same sparsity pattern share every estimate.  Hashing a few MB of index
+arrays costs milliseconds, and a weak id-keyed memo makes repeat
+fingerprints of the same live object free — the common case in sweeps,
+where one graph is estimated by many kernels.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import weakref
+from dataclasses import fields, is_dataclass
+
+import numpy as np
+
+#: id(matrix) -> (weakref to the matrix, fingerprint).  The weakref both
+#: detects id reuse after garbage collection and lets entries be pruned.
+_MATRIX_MEMO: dict[int, tuple[weakref.ref, str]] = {}
+_MATRIX_MEMO_MAX = 256
+
+
+def _hash_arrays(*arrays: np.ndarray) -> str:
+    h = hashlib.blake2b(digest_size=16)
+    for a in arrays:
+        a = np.ascontiguousarray(a)
+        h.update(str(a.dtype).encode())
+        h.update(str(a.shape).encode())
+        h.update(a.tobytes())
+    return h.hexdigest()
+
+
+def matrix_fingerprint(S) -> str:
+    """Structure fingerprint of a :class:`~repro.formats.HybridMatrix`.
+
+    ``(shape, nnz, blake2b(row bytes, col bytes))`` — value arrays are
+    deliberately excluded: cost models depend only on sparsity structure.
+    """
+    key = id(S)
+    entry = _MATRIX_MEMO.get(key)
+    if entry is not None:
+        ref, fp = entry
+        if ref() is S:
+            return fp
+    fp = (
+        f"m{S.shape[0]}x{S.shape[1]}-nnz{S.nnz}-"
+        f"{_hash_arrays(S.row, S.col)}"
+    )
+    if len(_MATRIX_MEMO) >= _MATRIX_MEMO_MAX:
+        dead = [k for k, (r, _) in _MATRIX_MEMO.items() if r() is None]
+        for k in dead:
+            del _MATRIX_MEMO[k]
+        if len(_MATRIX_MEMO) >= _MATRIX_MEMO_MAX:
+            _MATRIX_MEMO.clear()
+    try:
+        _MATRIX_MEMO[key] = (weakref.ref(S), fp)
+    except TypeError:  # non-weakrefable matrix stand-in: skip the memo
+        pass
+    return fp
+
+
+def dataclass_fingerprint(obj) -> str:
+    """Stable fingerprint of a flat dataclass (DeviceSpec, CostParams).
+
+    Field names and reprs are concatenated in declaration order; every
+    simulator parameter dataclass holds only scalars/strings/tuples, so
+    ``repr`` is exact (floats round-trip via ``repr`` since Python 3.1).
+    """
+    if not is_dataclass(obj):
+        return repr(obj)
+    parts = [type(obj).__name__]
+    for f in fields(obj):
+        parts.append(f"{f.name}={getattr(obj, f.name)!r}")
+    return "|".join(parts)
+
+
+def kernel_config_fingerprint(kernel) -> str:
+    """Fingerprint of a kernel instance's constructor configuration.
+
+    Kernel objects store their (scalar) constructor parameters as
+    instance attributes, so the sorted ``__dict__`` captures everything
+    that can change an estimate besides the registered name.
+    """
+    attrs = getattr(kernel, "__dict__", {})
+    body = ",".join(f"{k}={v!r}" for k, v in sorted(attrs.items()))
+    return f"{kernel.name}({body})"

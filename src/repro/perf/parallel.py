@@ -1,0 +1,73 @@
+"""Process-pool fan-out for experiment sweeps.
+
+``parallel_map`` is a deterministic-order ``map`` that fans work items
+over a ``concurrent.futures`` process pool when ``REPRO_JOBS`` asks for
+more than one worker, and degrades to a plain in-process loop otherwise
+(or whenever a pool cannot be built — nested pools, unpicklable items,
+missing semaphores in sandboxes).  Results always come back in item
+order, so serial and parallel sweeps produce identical output.
+
+``REPRO_JOBS`` semantics: unset or ``1`` → serial; ``N`` → N workers;
+``0`` or ``auto`` → one worker per CPU.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_jobs(num_items: int | None = None) -> int:
+    """Worker count from ``REPRO_JOBS``, clamped to the item count."""
+    raw = os.environ.get("REPRO_JOBS", "1").strip().lower()
+    if raw in ("", "0", "auto"):
+        jobs = os.cpu_count() or 1
+    else:
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_JOBS must be an integer, 'auto' or unset; got {raw!r}"
+            ) from None
+    jobs = max(1, jobs)
+    if num_items is not None:
+        jobs = min(jobs, max(1, num_items))
+    return jobs
+
+
+def _pool_context():
+    """Prefer fork (cheap, inherits loaded graphs); else the default."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    *,
+    jobs: int | None = None,
+) -> list[R]:
+    """Map ``fn`` over ``items`` with deterministic result ordering.
+
+    ``fn`` must be a module-level callable and items picklable for the
+    parallel path; any failure to run the pool falls back to the serial
+    loop, so callers never need to special-case the environment.
+    """
+    seq: Sequence[T] = items if isinstance(items, Sequence) else list(items)
+    if jobs is None:
+        jobs = resolve_jobs(len(seq))
+    if jobs <= 1 or len(seq) <= 1:
+        return [fn(item) for item in seq]
+    try:
+        with ProcessPoolExecutor(
+            max_workers=jobs, mp_context=_pool_context()
+        ) as pool:
+            return list(pool.map(fn, seq))
+    except Exception:
+        return [fn(item) for item in seq]

@@ -2,9 +2,19 @@
 
 Tests force a small edge cap for registry graphs (REPRO_MAX_EDGES) so
 the calibrated datasets generate in well under a second each.
+
+The session also enforces a **wall-clock duration budget** (recorded in
+``tests/duration_budget.json``): if the full tier-1 run exceeds the
+budget, the session fails.  This regression-guards the harness speedups
+(vectorized footprint sampling, the estimate cache) — reintroducing a
+per-window ``np.unique`` style hot spot blows the budget immediately.
+Set ``REPRO_NO_DURATION_BUDGET=1`` to disable (e.g. on very slow or
+heavily shared machines).
 """
 
+import json
 import os
+import time
 
 os.environ.setdefault("REPRO_MAX_EDGES", "60000")
 
@@ -13,6 +23,38 @@ import pytest
 import scipy.sparse as sp
 
 from repro.formats import COOMatrix, CSRMatrix, HybridMatrix
+
+_BUDGET_FILE = os.path.join(os.path.dirname(__file__), "duration_budget.json")
+
+
+def pytest_configure(config):
+    config._repro_session_t0 = time.monotonic()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if os.environ.get("REPRO_NO_DURATION_BUDGET", "").strip() not in ("", "0"):
+        return
+    t0 = getattr(session.config, "_repro_session_t0", None)
+    if t0 is None:
+        return
+    elapsed = time.monotonic() - t0
+    try:
+        with open(_BUDGET_FILE) as f:
+            budget = float(json.load(f)["budget_seconds"])
+    except (OSError, ValueError, KeyError):
+        return
+    if elapsed > budget:
+        reporter = session.config.pluginmanager.get_plugin("terminalreporter")
+        msg = (
+            f"test-suite duration budget exceeded: {elapsed:.1f}s > "
+            f"{budget:.0f}s (tests/duration_budget.json). A harness hot "
+            f"path likely regressed; profile with pytest --durations=10. "
+            f"Set REPRO_NO_DURATION_BUDGET=1 to override."
+        )
+        if reporter is not None:
+            reporter.write_line(f"\nERROR: {msg}", red=True, bold=True)
+        if session.exitstatus == 0:
+            session.exitstatus = 1
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,137 @@
+"""Parallel sweep fan-out (repro.perf.parallel) and the wall-clock harness."""
+
+import json
+import os
+import sys
+
+import pytest
+
+from repro.bench.runner import SPMM_BASELINES, sweep_sddmm, sweep_spmm
+from repro.perf import get_estimate_cache, parallel_map, resolve_jobs
+
+from tests.conftest import random_hybrid
+
+
+@pytest.fixture(autouse=True)
+def serial_default(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    get_estimate_cache().clear()
+
+
+# ----------------------------------------------------------------------
+# resolve_jobs / parallel_map
+# ----------------------------------------------------------------------
+
+def test_resolve_jobs_default_is_serial():
+    assert resolve_jobs() == 1
+    assert resolve_jobs(100) == 1
+
+
+def test_resolve_jobs_env(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "4")
+    assert resolve_jobs() == 4
+    assert resolve_jobs(2) == 2  # clamped to the item count
+    monkeypatch.setenv("REPRO_JOBS", "auto")
+    assert resolve_jobs() == (os.cpu_count() or 1)
+    monkeypatch.setenv("REPRO_JOBS", "0")
+    assert resolve_jobs() == (os.cpu_count() or 1)
+    monkeypatch.setenv("REPRO_JOBS", "nope")
+    with pytest.raises(ValueError):
+        resolve_jobs()
+
+
+def _square(x):
+    return x * x
+
+
+def test_parallel_map_orders_results():
+    items = list(range(20))
+    assert parallel_map(_square, items, jobs=1) == [x * x for x in items]
+    assert parallel_map(_square, items, jobs=3) == [x * x for x in items]
+
+
+def test_parallel_map_falls_back_on_unpicklable_work():
+    # A lambda cannot be pickled into a process pool; the serial
+    # fallback must still produce the right answer.
+    out = parallel_map(lambda x: x + 1, [1, 2, 3], jobs=2)
+    assert out == [2, 3, 4]
+
+
+# ----------------------------------------------------------------------
+# Serial == parallel sweeps (satellite acceptance)
+# ----------------------------------------------------------------------
+
+def _toy_graphs():
+    return [
+        ("a", random_hybrid(200, 200, 1500, seed=21)),
+        ("b", random_hybrid(300, 300, 2500, seed=22)),
+        ("c", random_hybrid(250, 250, 2000, seed=23)),
+    ]
+
+
+@pytest.mark.parametrize("op", ["spmm", "sddmm"])
+def test_parallel_and_serial_sweeps_identical(op):
+    graphs = _toy_graphs()
+    if op == "spmm":
+        sweep, kernels = sweep_spmm, ("hp-spmm",) + SPMM_BASELINES[:2]
+    else:
+        sweep, kernels = sweep_sddmm, ("hp-sddmm", "dgl-sddmm")
+    serial = sweep(graphs, kernels, k=32, jobs=1)
+    get_estimate_cache().clear()  # parallel run must not ride on memo hits
+    parallel = sweep(graphs, kernels, k=32, jobs=2)
+    assert [
+        (r.graph, r.kernel, r.time_s, r.preprocessing_s, r.gflops)
+        for r in serial.runs
+    ] == [
+        (r.graph, r.kernel, r.time_s, r.preprocessing_s, r.gflops)
+        for r in parallel.runs
+    ]
+
+
+def test_sweep_respects_repro_jobs_env(monkeypatch):
+    graphs = _toy_graphs()
+    serial = sweep_spmm(graphs, ("hp-spmm",), k=32)
+    monkeypatch.setenv("REPRO_JOBS", "2")
+    get_estimate_cache().clear()
+    parallel = sweep_spmm(graphs, ("hp-spmm",), k=32)
+    assert [r.time_s for r in serial.runs] == [r.time_s for r in parallel.runs]
+
+
+def test_fig12_parallel_matches_serial(monkeypatch):
+    from repro.bench.fig12 import run_fig12
+
+    kwargs = dict(num_graphs=3, num_nodes=1500)
+    serial = run_fig12(**kwargs)
+    monkeypatch.setenv("REPRO_JOBS", "2")
+    get_estimate_cache().clear()
+    parallel = run_fig12(**kwargs)
+    assert serial.stds == parallel.stds
+    assert serial.speedups == parallel.speedups
+    assert serial.pearson == parallel.pearson
+
+
+# ----------------------------------------------------------------------
+# Wall-clock harness
+# ----------------------------------------------------------------------
+
+def test_bench_wallclock_writes_report(tmp_path, monkeypatch):
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "benchmarks"))
+    try:
+        import bench_wallclock
+    finally:
+        sys.path.pop(0)
+    out = tmp_path / "BENCH_harness.json"
+    rc = bench_wallclock.main(
+        [
+            "--pipelines", "fig12",
+            "--fig12-nodes", "1500",
+            "--output", str(out),
+        ]
+    )
+    assert rc == 0
+    with open(out) as f:
+        report = json.load(f)
+    assert "fig12" in report["pipelines"]
+    assert report["pipelines"]["fig12"]["seconds"] > 0
+    assert report["meta"]["cpus"] == os.cpu_count()
+    assert set(report["estimate_cache"]) >= {"hits", "misses", "hit_rate"}

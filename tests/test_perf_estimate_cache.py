@@ -1,0 +1,225 @@
+"""The sweep-level estimate memo cache (repro.perf)."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.gpusim import DEFAULT_COST, TESLA_A30, TESLA_V100
+from repro.kernels import make_sddmm, make_spmm
+from repro.perf import (
+    EstimateCache,
+    get_estimate_cache,
+    kernel_config_fingerprint,
+    matrix_fingerprint,
+)
+from repro.perf.estimate_cache import cache_enabled
+
+from tests.conftest import random_hybrid
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache(monkeypatch):
+    """Each test starts with a cold in-process cache and no disk layer."""
+    monkeypatch.delenv("REPRO_NO_ESTIMATE_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_ESTIMATE_CACHE_DIR", raising=False)
+    cache = get_estimate_cache()
+    cache.clear()
+    yield
+    get_estimate_cache().clear()
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+
+def test_matrix_fingerprint_is_structural():
+    a = random_hybrid(64, 64, 300, seed=5)
+    b = random_hybrid(64, 64, 300, seed=5)
+    c = random_hybrid(64, 64, 300, seed=6)
+    assert a is not b
+    assert matrix_fingerprint(a) == matrix_fingerprint(b)
+    assert matrix_fingerprint(a) != matrix_fingerprint(c)
+    # Memoized on the live object: repeated calls are consistent.
+    assert matrix_fingerprint(a) == matrix_fingerprint(a)
+
+
+def test_kernel_config_fingerprint_separates_variants():
+    dtp = make_spmm("hp-spmm")
+    no_dtp = make_spmm("hp-spmm", use_dtp=False)
+    assert kernel_config_fingerprint(dtp) != kernel_config_fingerprint(no_dtp)
+
+
+# ----------------------------------------------------------------------
+# Hit / miss accounting + invalidation
+# ----------------------------------------------------------------------
+
+def test_hit_and_miss_accounting(small_matrix):
+    kern = make_spmm("hp-spmm")
+    cache = get_estimate_cache()
+    r1 = kern.estimate(small_matrix, 64)
+    assert cache.stats().misses == 1 and cache.stats().hits == 0
+    r2 = kern.estimate(small_matrix, 64)
+    assert cache.stats().hits == 1
+    assert r1.stats == r2.stats
+    assert r1.preprocessing_s == r2.preprocessing_s
+    assert cache.stats().entries == 1
+    assert cache.stats().stored_bytes > 0
+
+
+def test_key_varies_with_k_device_cost_and_config(small_matrix):
+    kern = make_spmm("hp-spmm")
+    cache = get_estimate_cache()
+    kern.estimate(small_matrix, 64, TESLA_V100)
+    kern.estimate(small_matrix, 32, TESLA_V100)          # new K
+    kern.estimate(small_matrix, 64, TESLA_A30)           # new device
+    from dataclasses import replace
+
+    warm_cost = replace(DEFAULT_COST, l2_latency=100.0)
+    kern.estimate(small_matrix, 64, TESLA_V100, warm_cost)  # new cost params
+    make_spmm("hp-spmm", use_hvma=False).estimate(small_matrix, 64)  # config
+    assert cache.stats().hits == 0
+    assert cache.stats().misses == 5
+    # And every one of them is now warm.
+    kern.estimate(small_matrix, 64, TESLA_V100)
+    kern.estimate(small_matrix, 64, TESLA_A30)
+    assert cache.stats().hits == 2
+
+
+def test_spmm_and_sddmm_do_not_collide(small_matrix):
+    """Same matrix/K/device but different op must be separate entries."""
+    cache = get_estimate_cache()
+    make_spmm("hp-spmm").estimate(small_matrix, 64)
+    make_sddmm("hp-sddmm").estimate(small_matrix, 64)
+    assert cache.stats().misses == 2
+    assert cache.stats().entries == 2
+
+
+def test_run_reuses_estimate_entry(small_matrix, features):
+    kern = make_spmm("hp-spmm")
+    cache = get_estimate_cache()
+    est = kern.estimate(small_matrix, 16)
+    A = features(small_matrix.shape[1], 16)
+    res = kern.run(small_matrix, A)
+    assert cache.stats().hits == 1
+    assert res.stats == est.stats
+    assert res.output is not None
+
+
+def test_bypass_env_var(small_matrix, monkeypatch):
+    monkeypatch.setenv("REPRO_NO_ESTIMATE_CACHE", "1")
+    assert not cache_enabled()
+    kern = make_spmm("hp-spmm")
+    cache = get_estimate_cache()
+    r1 = kern.estimate(small_matrix, 64)
+    r2 = kern.estimate(small_matrix, 64)
+    # No lookups, no stores — and results still deterministic.
+    assert cache.stats().lookups == 0
+    assert cache.stats().entries == 0
+    assert r1.stats == r2.stats
+
+
+def test_lru_eviction(small_matrix, medium_matrix, monkeypatch):
+    monkeypatch.setenv("REPRO_ESTIMATE_CACHE_SIZE", "1")
+    cache = get_estimate_cache()
+    kern = make_spmm("ge-spmm")
+    kern.estimate(small_matrix, 64)
+    kern.estimate(medium_matrix, 64)   # evicts the first entry
+    assert cache.stats().evictions == 1
+    assert cache.stats().entries == 1
+    kern.estimate(small_matrix, 64)    # cold again
+    assert cache.stats().hits == 0
+
+
+# ----------------------------------------------------------------------
+# Disk layer
+# ----------------------------------------------------------------------
+
+def _disk_files(d):
+    return [f for f in os.listdir(d) if f.endswith(".json")]
+
+
+def test_disk_store_round_trip(small_matrix, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_ESTIMATE_CACHE_DIR", str(tmp_path))
+    kern = make_spmm("hp-spmm")
+    r1 = kern.estimate(small_matrix, 64)
+    assert len(_disk_files(tmp_path)) == 1
+    # A fresh in-process cache (new process simulation) hits on disk.
+    get_estimate_cache().clear()
+    cache = get_estimate_cache()
+    r2 = kern.estimate(small_matrix, 64)
+    assert cache.stats().disk_hits == 1
+    assert cache.stats().hits == 1
+    assert r2.stats == r1.stats  # byte-identical through JSON round-trip
+
+
+def test_corrupt_disk_entry_regenerates(small_matrix, tmp_path, monkeypatch):
+    """Same recovery path as graphs.registry._load_cached: delete + redo."""
+    monkeypatch.setenv("REPRO_ESTIMATE_CACHE_DIR", str(tmp_path))
+    kern = make_spmm("hp-spmm")
+    r1 = kern.estimate(small_matrix, 64)
+    (path,) = _disk_files(tmp_path)
+    with open(tmp_path / path, "w") as f:
+        f.write("{ not json")
+    get_estimate_cache().clear()
+    cache = get_estimate_cache()
+    r2 = kern.estimate(small_matrix, 64)
+    assert cache.stats().disk_errors == 1
+    assert cache.stats().misses == 1
+    assert r2.stats == r1.stats
+    # The corrupt file was replaced with a fresh, loadable entry.
+    (path,) = _disk_files(tmp_path)
+    with open(tmp_path / path) as f:
+        payload = json.load(f)
+    assert payload["stats"]["time_s"] == r1.stats.time_s
+
+
+def test_mismatched_key_in_disk_entry_is_a_miss(
+    small_matrix, tmp_path, monkeypatch
+):
+    monkeypatch.setenv("REPRO_ESTIMATE_CACHE_DIR", str(tmp_path))
+    kern = make_spmm("hp-spmm")
+    kern.estimate(small_matrix, 64)
+    (path,) = _disk_files(tmp_path)
+    with open(tmp_path / path) as f:
+        payload = json.load(f)
+    payload["key"] = "something-else"
+    with open(tmp_path / path, "w") as f:
+        json.dump(payload, f)
+    get_estimate_cache().clear()
+    cache = get_estimate_cache()
+    kern.estimate(small_matrix, 64)
+    assert cache.stats().disk_hits == 0
+    assert cache.stats().misses == 1
+
+
+# ----------------------------------------------------------------------
+# Sweep-level behaviour: the acceptance scenario
+# ----------------------------------------------------------------------
+
+def test_repeated_sweep_hits_and_is_identical():
+    """A re-run sweep (the table3-after-fig9 pattern) is all cache hits
+    and renders byte-identical report text."""
+    from repro.bench.runner import SPMM_BASELINES, sweep_spmm
+    from repro.bench.tables import render_table
+
+    graphs = [
+        ("g1", random_hybrid(300, 300, 3000, seed=11)),
+        ("g2", random_hybrid(400, 400, 5000, seed=12)),
+    ]
+    kernels = ("hp-spmm",) + SPMM_BASELINES
+    cache = get_estimate_cache()
+
+    def render(sweep):
+        rows = [[r.graph, r.kernel, r.time_s, r.gflops] for r in sweep.runs]
+        return render_table(["graph", "kernel", "time", "gflops"], rows)
+
+    first = sweep_spmm(graphs, kernels, k=64)
+    misses_after_first = cache.stats().misses
+    assert cache.stats().hits == 0
+    second = sweep_spmm(graphs, kernels, k=64)
+    assert cache.stats().hits == len(graphs) * len(kernels)
+    assert cache.stats().misses == misses_after_first
+    assert render(first) == render(second)
+    assert [r.time_s for r in first.runs] == [r.time_s for r in second.runs]
