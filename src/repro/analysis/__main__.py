@@ -1,0 +1,67 @@
+"""CLI: ``python -m repro.analysis [--json] [--fixture NAME] [paths...]``.
+
+Default run checks every shipped kernel config's plan and lints
+``src/repro``; exits nonzero on any error-severity diagnostic.  With
+``--fixture`` it checks one seeded adversarial plan instead — those must
+always fail, which CI uses as the checker's negative control.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import ADVERSARIAL_PLANS, Report, check_plan, run_all
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static schedule checker + determinism linter.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: the repro source tree)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    parser.add_argument(
+        "--no-plans", action="store_true", help="skip the plan-checker layer"
+    )
+    parser.add_argument(
+        "--no-lint", action="store_true", help="skip the linter layer"
+    )
+    parser.add_argument(
+        "--show-info",
+        action="store_true",
+        help="include info-severity diagnostics (wave reports) in text output",
+    )
+    parser.add_argument(
+        "--fixture",
+        choices=sorted(ADVERSARIAL_PLANS),
+        help="check one seeded adversarial plan (must exit nonzero)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.fixture:
+        report = Report()
+        report.extend(check_plan(ADVERSARIAL_PLANS[args.fixture]()))
+        report.plans_checked = 1
+    else:
+        report = run_all(
+            args.paths or None,
+            plans=not args.no_plans,
+            lint=not args.no_lint,
+        )
+
+    if args.json:
+        print(report.render_json())
+    else:
+        print(report.render_text(show_info=args.show_info))
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

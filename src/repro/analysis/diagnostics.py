@@ -1,0 +1,123 @@
+"""Structured diagnostics shared by both analysis layers.
+
+Every rule violation — whether found by the schedule/plan checker
+(:mod:`repro.analysis.schedule`) or the codebase linter
+(:mod:`repro.analysis.lint`) — is reported as a :class:`Diagnostic`
+record: rule id, severity, the object it concerns (kernel or file), a
+location (slice/row or line number), a one-line message and a fix hint.
+Records render as human-readable text or JSON; a :class:`Report`
+aggregates them and decides the process exit code.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+#: Severity levels, ordered. ERROR diagnostics fail the CI gate; WARNING
+#: marks legal-but-suspicious configurations (e.g. a tail-effect launch);
+#: INFO carries reports (wave geometry) that are never failures.
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+SEVERITIES = (ERROR, WARNING, INFO)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of either analysis layer."""
+
+    rule: str          #: rule id, e.g. ``plan/row-race`` or ``lint/wallclock``
+    severity: str      #: one of :data:`SEVERITIES`
+    subject: str       #: kernel name (plan rules) or file path (lint rules)
+    message: str       #: one-line description of the violation
+    location: str = ""  #: slice/row ("slice 3, row 17") or "line 42"
+    hint: str = ""     #: how to fix it
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "subject": self.subject,
+            "location": self.location,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    def render(self) -> str:
+        loc = f" [{self.location}]" if self.location else ""
+        hint = f"  (hint: {self.hint})" if self.hint else ""
+        return (
+            f"{self.severity.upper():7s} {self.rule} {self.subject}{loc}: "
+            f"{self.message}{hint}"
+        )
+
+
+@dataclass
+class Report:
+    """A collection of diagnostics plus summary/rendering helpers."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: Number of kernel plans the schedule checker examined (0 when only
+    #: the linter ran); lets harness output show checking actually happened.
+    plans_checked: int = 0
+    #: Number of source files the linter examined.
+    files_linted: int = 0
+
+    def extend(self, diags: list[Diagnostic]) -> None:
+        self.diagnostics.extend(diags)
+
+    def by_severity(self, severity: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == severity]
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return self.by_severity(ERROR)
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return self.by_severity(WARNING)
+
+    def counts(self) -> dict[str, int]:
+        return {s: len(self.by_severity(s)) for s in SEVERITIES}
+
+    @property
+    def exit_code(self) -> int:
+        """Nonzero iff any error-severity diagnostic was recorded."""
+        return 1 if self.errors else 0
+
+    def summary(self) -> str:
+        c = self.counts()
+        return (
+            f"{self.plans_checked} plans checked, {self.files_linted} files "
+            f"linted: {c[ERROR]} errors, {c[WARNING]} warnings, "
+            f"{c[INFO]} info"
+        )
+
+    def render_text(self, *, show_info: bool = False) -> str:
+        lines = [
+            d.render()
+            for d in self.diagnostics
+            if show_info or d.severity != INFO
+        ]
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        return json.dumps(
+            {
+                "diagnostics": [d.to_dict() for d in self.diagnostics],
+                "counts": self.counts(),
+                "plans_checked": self.plans_checked,
+                "files_linted": self.files_linted,
+                "exit_code": self.exit_code,
+            },
+            indent=2,
+        )

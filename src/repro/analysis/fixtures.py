@@ -1,0 +1,94 @@
+"""Seeded adversarial plans — known-bad schedules the checker must flag.
+
+Each fixture is a hand-built :class:`~repro.analysis.schedule.KernelPlan`
+seeded with a deterministic matrix, exhibiting exactly one scheduling
+bug.  They serve two purposes: regression tests assert the checker
+raises the *right* rule id for each, and ``python -m repro.analysis
+--fixture <name>`` must exit nonzero on every one of them (the CI gate's
+negative control — a checker that passes everything is worthless).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpusim import LaunchConfig, TESLA_V100
+from .schedule import MERGE_ATOMIC, MERGE_NONE, KernelPlan
+
+#: Deterministic row stream: 48 nnz over rows 0..11, row-sorted, with
+#: row boundaries that do NOT align with 8-element slices.
+_ROW = np.repeat(np.arange(12, dtype=np.int64), 4)
+_NNZ = int(_ROW.size)
+_CFG = LaunchConfig(warps_per_block=8, registers_per_thread=32)
+
+
+def _base(**kw) -> KernelPlan:
+    defaults = dict(
+        kernel="fixture",
+        op="spmm",
+        nnz=_NNZ,
+        k=64,
+        row=_ROW,
+        merge=MERGE_ATOMIC,
+        config=_CFG,
+        device=TESLA_V100,
+    )
+    defaults.update(kw)
+    return KernelPlan(**defaults)
+
+
+def gap_plan() -> KernelPlan:
+    """Slices drop nnz [16, 24): silently missing work → plan/coverage-gap."""
+    return _base(
+        kernel="fixture-gap",
+        starts=np.array([0, 8, 24, 32, 40]),
+        ends=np.array([8, 16, 32, 40, 48]),
+    )
+
+
+def overlap_plan() -> KernelPlan:
+    """Slices 1 and 2 both cover [12, 16): double accumulation →
+    plan/coverage-overlap."""
+    return _base(
+        kernel="fixture-overlap",
+        starts=np.array([0, 8, 12, 24, 32, 40]),
+        ends=np.array([8, 16, 24, 32, 40, 48]),
+    )
+
+
+def race_plan() -> KernelPlan:
+    """6-element slices split rows mid-stream with plain stores: rows 1,
+    2, 4, ... are written by two warps each → plan/row-race."""
+    starts = np.arange(0, _NNZ, 6, dtype=np.int64)
+    return _base(
+        kernel="fixture-race",
+        starts=starts,
+        ends=np.minimum(starts + 6, _NNZ),
+        merge=MERGE_NONE,
+    )
+
+
+def occupancy_plan() -> KernelPlan:
+    """A launch config exceeding every V100 block-level limit →
+    plan/threads-per-block, plan/registers, plan/smem."""
+    cfg = LaunchConfig(
+        warps_per_block=64,                # 2048 threads > 1024 limit
+        registers_per_thread=256,          # > 255 limit
+        shared_mem_per_block=128 * 1024,   # > 96 KiB limit
+    )
+    starts = np.arange(0, _NNZ, 8, dtype=np.int64)
+    return _base(
+        kernel="fixture-occupancy",
+        starts=starts,
+        ends=np.minimum(starts + 8, _NNZ),
+        config=cfg,
+    )
+
+
+#: Registry: fixture name -> builder; all must fail check_plan.
+ADVERSARIAL_PLANS = {
+    "gap": gap_plan,
+    "overlap": overlap_plan,
+    "race": race_plan,
+    "occupancy": occupancy_plan,
+}

@@ -1,0 +1,43 @@
+"""Pytest integration: the ``check_plan`` fixture for kernel tests.
+
+Loaded via ``pytest_plugins`` in ``tests/conftest.py``.  A kernel test
+asserts its launch plan is race-free and legal with one line::
+
+    def test_plan(small_matrix, check_plan):
+        check_plan(HPSpMM(), small_matrix, k=64)
+
+The fixture builds the kernel's plan (``plan_for_kernel``), runs every
+plan rule, and fails the test with the rendered diagnostics if any
+error-severity finding survives.  It returns the full diagnostic list so
+tests can additionally assert on warnings or wave geometry.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from ..gpusim import TESLA_V100
+from .diagnostics import ERROR
+from .schedule import check_plan as _check_plan_rules
+from .schedule import plan_for_kernel
+
+
+@pytest.fixture
+def check_plan():
+    """Assert a kernel's plan has no error-severity diagnostics."""
+
+    def _check(kernel, S, k, device=TESLA_V100, *, allow=()):
+        plan = plan_for_kernel(kernel, S, k, device)
+        diags = _check_plan_rules(plan)
+        errors = [
+            d for d in diags if d.severity == ERROR and d.rule not in allow
+        ]
+        if errors:
+            rendered = "\n".join(d.render() for d in errors)
+            pytest.fail(
+                f"plan check failed for {plan.kernel} (k={k}, "
+                f"{device.name}):\n{rendered}"
+            )
+        return diags
+
+    return _check

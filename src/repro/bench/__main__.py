@@ -74,7 +74,7 @@ def main(argv: list[str] | None = None) -> int:
             kwargs["max_edges"] = args.max_edges
         if args.subgraphs is not None and name in ("fig10", "table3"):
             kwargs["num_subgraphs"] = args.subgraphs
-        t0 = time.time()
+        t0 = time.time()  # lint: allow(wallclock) CLI progress display only; never enters reports
         result = runner(**kwargs)
         if hasattr(result, "render"):
             text = result.render()
@@ -82,11 +82,11 @@ def main(argv: list[str] | None = None) -> int:
             text = "\n\n".join(r.render() for r in result)
         print(text)
         path = write_report(name, text)
-        print(f"[{name} done in {time.time() - t0:.1f}s -> {path}]\n")
+        print(f"[{name} done in {time.time() - t0:.1f}s -> {path}]\n")  # lint: allow(wallclock) progress display
         if args.timing:
             cs = estimate_cache_stats()
             print(
-                f"[timing {name}: {time.time() - t0:.2f}s | estimate cache "
+                f"[timing {name}: {time.time() - t0:.2f}s | estimate cache "  # lint: allow(wallclock) --timing display
                 f"{cs.hits} hits / {cs.misses} misses "
                 f"({100.0 * cs.hit_rate:.0f}%), {cs.entries} entries]\n"
             )

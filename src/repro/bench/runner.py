@@ -9,14 +9,25 @@ column is the fraction of graphs on which the HP kernel is faster.
 from __future__ import annotations
 
 import os
+import sys
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..analysis import ERROR, check_plan, plan_for_kernel
 from ..formats import HybridMatrix
 from ..gpusim import DeviceSpec, TESLA_V100
 from ..kernels import make_sddmm, make_spmm
 from ..perf import parallel_map
+
+
+class PlanCheckError(RuntimeError):
+    """A sweep point's kernel plan failed the static schedule checker."""
+
+
+def plan_checking_enabled() -> bool:
+    """Sweeps plan-check every point unless ``REPRO_NO_PLAN_CHECK=1``."""
+    return os.environ.get("REPRO_NO_PLAN_CHECK", "").strip() in ("", "0")
 
 #: Paper kernel display names for the standard comparison sets.
 SPMM_BASELINES: tuple[str, ...] = (
@@ -51,6 +62,23 @@ class SweepResult:
     device: str
     k: int
     runs: list[KernelRun] = field(default_factory=list)
+    #: Plans verified by the static schedule checker before simulation;
+    #: 0 means checking was skipped (REPRO_NO_PLAN_CHECK) — visible so a
+    #: sweep that bypassed verification cannot masquerade as checked.
+    plans_checked: int = 0
+    #: Per-severity totals from the checker (error/warning/info).
+    plan_diagnostics: dict = field(default_factory=dict)
+
+    def plan_check_summary(self) -> str:
+        """One-line checker summary for harness output."""
+        if not self.plans_checked:
+            return "plan-check: skipped (REPRO_NO_PLAN_CHECK=1)"
+        c = self.plan_diagnostics
+        return (
+            f"plan-check: {self.plans_checked} plans verified "
+            f"({c.get('error', 0)} errors, {c.get('warning', 0)} warnings, "
+            f"{c.get('info', 0)} info)"
+        )
 
     def times(self, kernel: str) -> dict[str, float]:
         return {r.graph: r.time_s for r in self.runs if r.kernel == kernel}
@@ -87,8 +115,25 @@ def _sweep_one_graph(
     make = _SWEEP_MAKERS[op]
     flops = 2.0 * S.nnz * k
     runs = []
+    checked = 0
+    counts: dict[str, int] = {}
+    do_check = plan_checking_enabled()
     for kname in kernels:
-        res = make(kname).estimate(S, k, device)
+        kernel = make(kname)
+        if do_check:
+            diags = check_plan(plan_for_kernel(kernel, S, k, device))
+            checked += 1
+            for d in diags:
+                counts[d.severity] = counts.get(d.severity, 0) + 1
+            errors = [d for d in diags if d.severity == ERROR]
+            if errors:
+                detail = "\n".join(d.render() for d in errors)
+                raise PlanCheckError(
+                    f"kernel {kname!r} on graph {gname!r} (k={k}, "
+                    f"{device.name}) has an illegal schedule; refusing to "
+                    f"simulate a silently-wrong sweep point:\n{detail}"
+                )
+        res = kernel.estimate(S, k, device)
         runs.append(
             KernelRun(
                 graph=gname,
@@ -98,7 +143,7 @@ def _sweep_one_graph(
                 gflops=res.stats.throughput_gflops(flops),
             )
         )
-    return runs
+    return runs, checked, counts
 
 
 def _sweep(
@@ -114,8 +159,19 @@ def _sweep(
     items = [
         (op, gname, S, tuple(kernels), k, device) for gname, S in graphs
     ]
-    for runs in parallel_map(_sweep_one_graph, items, jobs=jobs):
+    for runs, checked, counts in parallel_map(
+        _sweep_one_graph, items, jobs=jobs
+    ):
         out.runs.extend(runs)
+        out.plans_checked += checked
+        for sev, n in counts.items():
+            out.plan_diagnostics[sev] = out.plan_diagnostics.get(sev, 0) + n
+    if items:
+        # Surface to stderr so report files stay byte-identical.
+        print(
+            f"[{op} sweep k={k} {device.name}] {out.plan_check_summary()}",
+            file=sys.stderr,
+        )
     return out
 
 

@@ -37,10 +37,27 @@ def row_segments_per_slice(row: np.ndarray, starts: np.ndarray, nnz_per_warp: in
     distinct rows inside a slice is ``1 + (# boundaries with a row change
     strictly inside the slice)``.  Each segment triggers one row-switch
     store in HP-SpMM / one A1 reload in HP-SDDMM.
+
+    Raises ``ValueError`` when ``row`` violates the hybrid-format
+    invariant (unsorted) or is empty while slices claim nonzeros — both
+    would otherwise yield garbage segment counts that silently corrupt
+    every downstream cost estimate.
     """
     nnz = row.size
-    if starts.size == 0 or nnz == 0:
-        return np.zeros(starts.size, dtype=np.int64)
+    if starts.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    if nnz == 0:
+        raise ValueError(
+            f"row array is empty but {starts.size} warp slices were "
+            "requested; slice an empty stream with zero slices"
+        )
+    if np.any(row[1:] < row[:-1]):
+        bad = int(np.argmax(row[1:] < row[:-1]))
+        raise ValueError(
+            "row indices must be non-decreasing (hybrid CSR/COO "
+            f"invariant); row[{bad}]={int(row[bad])} > "
+            f"row[{bad + 1}]={int(row[bad + 1])}"
+        )
     change = np.empty(nnz, dtype=np.int64)
     change[0] = 0
     change[1:] = (row[1:] != row[:-1]).astype(np.int64)

@@ -24,6 +24,9 @@ import scipy.sparse as sp
 
 from repro.formats import COOMatrix, CSRMatrix, HybridMatrix
 
+#: Exposes the ``check_plan`` fixture (static schedule checker) to all tests.
+pytest_plugins = ["repro.analysis.pytest_plugin"]
+
 _BUDGET_FILE = os.path.join(os.path.dirname(__file__), "duration_budget.json")
 
 

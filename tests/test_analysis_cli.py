@@ -1,0 +1,75 @@
+"""End-to-end CLI gate: ``python -m repro.analysis`` exit codes.
+
+The acceptance criteria the driver enforces: exit 0 on the repo as-is,
+nonzero on each seeded adversarial fixture.  These run the real module
+in a subprocess so the exit-code plumbing itself is under test.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis import ADVERSARIAL_PLANS
+
+pytestmark = pytest.mark.analysis
+
+_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+)
+
+
+def _run(*args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep * bool(env.get("PYTHONPATH")) + env.get(
+        "PYTHONPATH", ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+
+
+def test_repo_passes_with_exit_zero():
+    proc = _run("--json")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    payload = json.loads(proc.stdout)
+    assert payload["exit_code"] == 0
+    assert payload["counts"]["error"] == 0
+    assert payload["plans_checked"] > 0
+    assert payload["files_linted"] > 0
+
+
+@pytest.mark.parametrize("name", sorted(ADVERSARIAL_PLANS))
+def test_each_adversarial_fixture_exits_nonzero(name):
+    proc = _run("--fixture", name, "--json")
+    assert proc.returncode != 0, f"fixture {name!r} passed: {proc.stdout}"
+    payload = json.loads(proc.stdout)
+    assert payload["counts"]["error"] > 0
+    rules = {d["rule"] for d in payload["diagnostics"]}
+    expected = {
+        "gap": "plan/coverage-gap",
+        "overlap": "plan/coverage-overlap",
+        "race": "plan/row-race",
+        "occupancy": "plan/threads-per-block",
+    }[name]
+    assert expected in rules
+
+
+def test_lint_only_on_one_file(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import numpy as np\nx = np.random.rand(3)\n")
+    proc = _run("--no-plans", str(bad))
+    assert proc.returncode == 1
+    assert "lint/unseeded-rng" in proc.stdout
+
+
+def test_text_output_ends_with_summary_line():
+    proc = _run("--no-lint")
+    assert proc.returncode == 0
+    last = proc.stdout.strip().splitlines()[-1]
+    assert "plans checked" in last and "0 errors" in last

@@ -142,3 +142,11 @@ def test_registry_instantiates_everything():
         assert make_spmm(name).name == name
     with pytest.raises(KeyError):
         make_spmm("nonexistent")
+
+
+@pytest.mark.parametrize("name", ALL_SPMM)
+def test_baseline_launch_plans_pass_static_checker(
+    name, medium_matrix, check_plan
+):
+    device = RTX_3090 if name == "tc-gnn" else TESLA_V100
+    check_plan(make_spmm(name), medium_matrix, 64, device=device)

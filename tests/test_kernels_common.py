@@ -108,3 +108,18 @@ def test_alignment_and_write_sectors():
     assert not dense_row_alignment(7)
     assert output_write_sectors(64) == 8
     assert output_write_sectors(7) == 1
+
+
+def test_row_segments_rejects_empty_row_with_slices():
+    starts = np.array([0, 4], dtype=np.int64)
+    with pytest.raises(ValueError, match="row array is empty"):
+        row_segments_per_slice(np.array([], dtype=np.int64), starts, 4)
+
+
+def test_row_segments_rejects_unsorted_row():
+    row = np.array([0, 2, 1, 3], dtype=np.int64)
+    starts = warp_slice_starts(4, 2)
+    with pytest.raises(ValueError, match="non-decreasing") as exc:
+        row_segments_per_slice(row, starts, 2)
+    # The message names the offending index for fast diagnosis.
+    assert "row[1]=2" in str(exc.value)

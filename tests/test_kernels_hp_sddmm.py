@@ -62,3 +62,10 @@ def test_empty_matrix():
 def test_registered():
     k = make_sddmm("hp-sddmm")
     assert isinstance(k, HPSDDMM)
+
+
+def test_launch_plan_passes_static_checker(medium_matrix, check_plan):
+    # SDDMM outputs are per-nnz (slice-private by construction); the
+    # checker verifies coverage, occupancy and HVMA preconditions.
+    for k in (64, 48):
+        check_plan(HPSDDMM(), medium_matrix, k=k)

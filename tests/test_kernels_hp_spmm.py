@@ -116,3 +116,14 @@ def test_feature_groups_cover_wide_k(medium_matrix):
     part = HPSpMM().partition(medium_matrix, 256, TESLA_V100)
     assert part.num_feature_groups * 32 * part.vector_width >= 256
     assert part.num_warps == part.num_slices * part.num_feature_groups
+
+
+def test_launch_plan_passes_static_checker(medium_matrix, check_plan):
+    # The resolved partition (DTP + HVMA) must be coverage-exact,
+    # race-free via the row-switch atomic merge, and within V100 limits.
+    for k in (64, 48):
+        check_plan(HPSpMM(), medium_matrix, k=k)
+
+
+def test_skewed_launch_plan_passes_static_checker(skewed_matrix, check_plan):
+    check_plan(HPSpMM(), skewed_matrix, k=64)
