@@ -39,9 +39,11 @@ def run_pipelines(
 ) -> dict:
     """Run each pipeline once; returns the report payload."""
     from repro.bench import EXPERIMENTS
+    from repro.obs import METRICS, snapshot
     from repro.perf import estimate_cache_stats, get_estimate_cache
 
     get_estimate_cache().clear()
+    METRICS.reset()
     report: dict = {"pipelines": {}}
     for name in pipelines:
         if name not in EXPERIMENTS:
@@ -82,6 +84,10 @@ def run_pipelines(
         "subgraphs": subgraphs,
         "fig12_nodes": fig12_nodes,
     }
+    # Unified observability snapshot (plan-check totals, pool fan-out
+    # accounting, ...).  Informational in `repro.obs diff` — only the
+    # timing keys above are regression-gated.
+    report["metrics"] = snapshot()
     return report
 
 
@@ -124,6 +130,10 @@ def main(argv: list[str] | None = None) -> int:
             f"{row['estimate_cache_misses']} misses)"
         )
     print(f"-> {args.output}")
+    from repro.obs import export_trace, tracing_enabled
+
+    if tracing_enabled():
+        print(f"[trace -> {export_trace()}]")
     return 0
 
 

@@ -7,9 +7,12 @@ Usage::
     python -m repro.bench list
 
 Reports are printed and written under ``results/`` (override with
-REPRO_RESULTS_DIR).  ``--jobs N`` (or ``REPRO_JOBS``) fans sweep work
-over N worker processes; ``--timing`` appends a wall-clock + estimate
-cache summary line per experiment.
+REPRO_RESULTS_DIR), each with a ``<id>.manifest.json`` run manifest
+beside it.  ``--jobs N`` (or ``REPRO_JOBS``) fans sweep work over N
+worker processes; ``--timing`` appends a wall-clock + estimate cache
+summary line per experiment.  ``REPRO_TRACE=<path>`` records a
+Chrome-trace/Perfetto span timeline of the whole run and exports it on
+exit (run without ``--jobs`` for a complete single-process trace).
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ import os
 import sys
 import time
 
+from ..obs import export_trace, tracing_enabled
 from ..perf import estimate_cache_stats
 from . import EXPERIMENTS, write_report
 
@@ -81,7 +85,7 @@ def main(argv: list[str] | None = None) -> int:
         else:
             text = "\n\n".join(r.render() for r in result)
         print(text)
-        path = write_report(name, text)
+        path = write_report(name, text, config=kwargs)
         print(f"[{name} done in {time.time() - t0:.1f}s -> {path}]\n")  # lint: allow(wallclock) progress display
         if args.timing:
             cs = estimate_cache_stats()
@@ -90,6 +94,9 @@ def main(argv: list[str] | None = None) -> int:
                 f"{cs.hits} hits / {cs.misses} misses "
                 f"({100.0 * cs.hit_rate:.0f}%), {cs.entries} entries]\n"
             )
+    if tracing_enabled():
+        trace_path = export_trace()
+        print(f"[trace -> {trace_path}] (load in chrome://tracing or ui.perfetto.dev)")
     return 0
 
 

@@ -18,6 +18,7 @@ from ..analysis import ERROR, check_plan, plan_for_kernel
 from ..formats import HybridMatrix
 from ..gpusim import DeviceSpec, TESLA_V100
 from ..kernels import make_sddmm, make_spmm
+from ..obs import METRICS, trace_span, write_manifest
 from ..perf import parallel_map
 
 
@@ -119,21 +120,28 @@ def _sweep_one_graph(
     counts: dict[str, int] = {}
     do_check = plan_checking_enabled()
     for kname in kernels:
-        kernel = make(kname)
-        if do_check:
-            diags = check_plan(plan_for_kernel(kernel, S, k, device))
-            checked += 1
-            for d in diags:
-                counts[d.severity] = counts.get(d.severity, 0) + 1
-            errors = [d for d in diags if d.severity == ERROR]
-            if errors:
-                detail = "\n".join(d.render() for d in errors)
-                raise PlanCheckError(
-                    f"kernel {kname!r} on graph {gname!r} (k={k}, "
-                    f"{device.name}) has an illegal schedule; refusing to "
-                    f"simulate a silently-wrong sweep point:\n{detail}"
-                )
-        res = kernel.estimate(S, k, device)
+        # One span per sweep point (kernel x graph).  With REPRO_JOBS>1
+        # these run in pool workers and stay there; run serially for a
+        # complete single-process trace.
+        with trace_span(
+            f"sweep_point[{op}]", cat="bench",
+            graph=gname, kernel=kname, k=k, device=device.name,
+        ):
+            kernel = make(kname)
+            if do_check:
+                diags = check_plan(plan_for_kernel(kernel, S, k, device))
+                checked += 1
+                for d in diags:
+                    counts[d.severity] = counts.get(d.severity, 0) + 1
+                errors = [d for d in diags if d.severity == ERROR]
+                if errors:
+                    detail = "\n".join(d.render() for d in errors)
+                    raise PlanCheckError(
+                        f"kernel {kname!r} on graph {gname!r} (k={k}, "
+                        f"{device.name}) has an illegal schedule; refusing to "
+                        f"simulate a silently-wrong sweep point:\n{detail}"
+                    )
+            res = kernel.estimate(S, k, device)
         runs.append(
             KernelRun(
                 graph=gname,
@@ -159,13 +167,27 @@ def _sweep(
     items = [
         (op, gname, S, tuple(kernels), k, device) for gname, S in graphs
     ]
-    for runs, checked, counts in parallel_map(
-        _sweep_one_graph, items, jobs=jobs
-    ):
+    METRICS.inc("bench.sweeps")
+    try:
+        with trace_span(
+            f"sweep[{op}]", cat="bench",
+            k=k, device=device.name, graphs=len(items),
+            kernels=len(kernels),
+        ):
+            mapped = parallel_map(_sweep_one_graph, items, jobs=jobs)
+    except PlanCheckError:
+        METRICS.inc("plan_check.failed")
+        raise
+    for runs, checked, counts in mapped:
         out.runs.extend(runs)
         out.plans_checked += checked
         for sev, n in counts.items():
             out.plan_diagnostics[sev] = out.plan_diagnostics.get(sev, 0) + n
+    # Aggregated parent-side: with REPRO_JOBS>1 the per-point counters
+    # accrue in pool workers and come back through the mapped results.
+    METRICS.inc("plan_check.checked", out.plans_checked)
+    for sev, n in out.plan_diagnostics.items():
+        METRICS.inc(f"plan_check.diag_{sev}", n)
     if items:
         # Surface to stderr so report files stay byte-identical.
         print(
@@ -215,9 +237,20 @@ def results_dir() -> str:
     return base
 
 
-def write_report(experiment_id: str, text: str) -> str:
-    """Persist a rendered experiment report; returns the path."""
-    path = os.path.join(results_dir(), f"{experiment_id}.txt")
+def write_report(
+    experiment_id: str, text: str, *, config: dict | None = None
+) -> str:
+    """Persist a rendered experiment report; returns the path.
+
+    A run manifest (``<experiment_id>.manifest.json`` — env flags,
+    versions, unified metrics snapshot; see :mod:`repro.obs.manifest`)
+    is written next to the report.  The report text itself is untouched,
+    so reports stay byte-identical with or without observability on.
+    """
+    base = results_dir()
+    path = os.path.join(base, f"{experiment_id}.txt")
     with open(path, "w") as f:
         f.write(text + "\n")
+    METRICS.inc("bench.reports")
+    write_manifest(experiment_id, base, config)
     return path

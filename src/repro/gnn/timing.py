@@ -11,8 +11,17 @@ accrues that sum deterministically:
 * dense ops use a roofline price: ``max(flops / peak, bytes / bandwidth)
   + launch overhead``.
 
-Kernel-model evaluations are cached per (matrix, K, kernel, device) so
-multi-epoch training does not recompute them.
+Kernel-model evaluations are cached per (matrix *structure*, K, kernel,
+device) so multi-epoch training does not recompute them.  The cache key
+is the structural fingerprint from :mod:`repro.perf.fingerprint` — an
+earlier version keyed on ``id(S)``, which CPython reuses after garbage
+collection, so long sampling-mode loops that create and drop a subgraph
+matrix per iteration could silently read a stale time for a *different*
+matrix (regression-tested in ``tests/test_gnn_timing_cache.py``).
+
+With tracing enabled (``REPRO_TRACE``), every recorded op also lands on
+the ``sim-gpu`` trace track at its simulated offset, so a whole Table-V
+training run opens in Perfetto as the modeled kernel timeline.
 """
 
 from __future__ import annotations
@@ -24,6 +33,8 @@ from ..formats import HybridMatrix
 from ..gpusim import DeviceSpec, TESLA_V100
 from ..kernels import make_sddmm, make_spmm
 from ..kernels.api import SDDMMKernel, SpMMKernel
+from ..obs import METRICS, trace_emit, tracing_enabled
+from ..perf.fingerprint import matrix_fingerprint
 
 
 @dataclass
@@ -61,7 +72,11 @@ class TimingContext:
     # ------------------------------------------------------------------
     def spmm_time(self, S: HybridMatrix, k: int) -> float:
         """Simulated time of one SpMM of ``S`` against a K-column operand."""
-        key = (id(S), k)
+        # Structural key: id(S) is unsafe here — CPython reuses object
+        # ids after GC, and sampling-mode training drops one subgraph
+        # matrix per iteration.  matrix_fingerprint memoizes on the live
+        # object (weakref-guarded), so repeat lookups stay cheap.
+        key = (matrix_fingerprint(S), k)
         if key not in self._spmm_cache:
             # Timing-only evaluation: the cost model reads shapes and the
             # sparsity pattern, never the operand values.
@@ -71,7 +86,7 @@ class TimingContext:
 
     def sddmm_time(self, S: HybridMatrix, k: int) -> float:
         """Simulated time of one SDDMM over ``S`` with K-wide operands."""
-        key = (id(S), k)
+        key = (matrix_fingerprint(S), k)
         if key not in self._sddmm_cache:
             result = self.sddmm().estimate(S, k, device=self.device)
             self._sddmm_cache[key] = (
@@ -79,13 +94,35 @@ class TimingContext:
             )
         return self._sddmm_cache[key]
 
+    def _emit_sim_span(self, name: str, dur_s: float, **args) -> None:
+        """Place one op on the simulated-GPU trace track at its offset."""
+        trace_emit(
+            name,
+            ts_us=(self.total_s - dur_s) * 1e6,
+            dur_us=dur_s * 1e6,
+            cat="gnn",
+            **args,
+        )
+
     def record_spmm(self, S: HybridMatrix, k: int) -> None:
-        self.sparse_s += self.spmm_time(S, k)
+        t = self.spmm_time(S, k)
+        self.sparse_s += t
         self.num_sparse_ops += 1
+        METRICS.inc("gnn.spmm_ops")
+        if tracing_enabled():
+            self._emit_sim_span(
+                f"spmm[{self.spmm_kernel}]", t, nnz=S.nnz, k=k
+            )
 
     def record_sddmm(self, S: HybridMatrix, k: int) -> None:
-        self.sparse_s += self.sddmm_time(S, k)
+        t = self.sddmm_time(S, k)
+        self.sparse_s += t
         self.num_sparse_ops += 1
+        METRICS.inc("gnn.sddmm_ops")
+        if tracing_enabled():
+            self._emit_sim_span(
+                f"sddmm[{self.sddmm_kernel}]", t, nnz=S.nnz, k=k
+            )
 
     def record_gemm(self, m: int, n: int, k: int) -> None:
         """Dense GEMM (m x k) @ (k x n): roofline price."""
@@ -97,14 +134,20 @@ class TimingContext:
         ) + self.device.kernel_launch_overhead_s
         self.dense_s += t
         self.num_dense_ops += 1
+        METRICS.inc("gnn.gemm_ops")
+        if tracing_enabled():
+            self._emit_sim_span("gemm", t, m=m, n=n, k=k)
 
     def record_elementwise(self, num_elems: int, num_arrays: int = 2) -> None:
         """Elementwise kernel over ``num_elems`` elements (relu, dropout...)."""
         bytes_moved = 4.0 * num_elems * num_arrays
-        self.elementwise_s += (
+        t = (
             bytes_moved / self.device.dram_bandwidth
             + self.device.kernel_launch_overhead_s
         )
+        self.elementwise_s += t
+        if tracing_enabled():
+            self._emit_sim_span("elementwise", t, elems=num_elems)
 
     def summary(self) -> dict:
         """Plain-dict summary for reports."""

@@ -10,6 +10,7 @@ much.
 
 from __future__ import annotations
 
+from ..obs import METRICS
 from .device import DeviceSpec
 from .launch import KernelStats
 
@@ -51,6 +52,7 @@ def profile_report(
     flops: float | None = None,
 ) -> str:
     """Render an Nsight-style text report for one simulated launch."""
+    METRICS.inc("gpusim.profile_reports")
     u = utilization_summary(stats, device)
     lines = [
         f"== profile: {kernel_name} on {device.name} ==",

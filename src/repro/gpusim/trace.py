@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..formats import HybridMatrix
+from ..obs import METRICS, traced
 from .cache import LRUCache
 from .device import DeviceSpec, TESLA_V100
 from .memory import FP32, sectors_for_access
@@ -41,6 +42,7 @@ class TraceCounts:
         )
 
 
+@traced("trace_hp_spmm", cat="gpusim")
 def trace_hp_spmm(
     S: HybridMatrix,
     k: int,
@@ -60,6 +62,7 @@ def trace_hp_spmm(
         raise ValueError(f"trace simulation is for tiny matrices (nnz <= {max_nnz})")
     if nnz_per_warp <= 0:
         raise ValueError("nnz_per_warp must be positive")
+    METRICS.inc("gpusim.trace_replays")
     sector = device.l2_sector_bytes
     counts = TraceCounts()
     nnz = S.nnz
@@ -130,6 +133,7 @@ def trace_hp_spmm(
     return counts
 
 
+@traced("trace_hp_sddmm", cat="gpusim")
 def trace_hp_sddmm(
     S: HybridMatrix,
     k: int,
@@ -151,6 +155,7 @@ def trace_hp_sddmm(
         )
     if nnz_per_warp <= 0:
         raise ValueError("nnz_per_warp must be positive")
+    METRICS.inc("gpusim.trace_replays")
     sector = device.l2_sector_bytes
     counts = TraceCounts()
     nnz = S.nnz

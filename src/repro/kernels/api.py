@@ -21,6 +21,7 @@ import numpy as np
 
 from ..formats import HybridMatrix
 from ..gpusim import DEFAULT_COST, CostParams, DeviceSpec, KernelStats, TESLA_V100
+from ..obs import trace_span
 from ..perf.estimate_cache import cached_estimate
 
 
@@ -97,7 +98,11 @@ class SpMMKernel(abc.ABC):
         """
         if k <= 0:
             raise ValueError("k must be positive")
-        stats, pre = cached_estimate(self, "spmm", S, int(k), device, cost)
+        with trace_span(
+            "spmm.estimate", cat="kernel", kernel=self.name, k=int(k),
+            nnz=S.nnz, device=device.name,
+        ):
+            stats, pre = cached_estimate(self, "spmm", S, int(k), device, cost)
         return SpMMResult(output=None, stats=stats, preprocessing_s=pre)
 
     def run(
@@ -155,7 +160,11 @@ class SDDMMKernel(abc.ABC):
         """
         if k <= 0:
             raise ValueError("k must be positive")
-        stats, pre = cached_estimate(self, "sddmm", S, int(k), device, cost)
+        with trace_span(
+            "sddmm.estimate", cat="kernel", kernel=self.name, k=int(k),
+            nnz=S.nnz, device=device.name,
+        ):
+            stats, pre = cached_estimate(self, "sddmm", S, int(k), device, cost)
         return SDDMMResult(values=None, stats=stats, preprocessing_s=pre)
 
     def run(

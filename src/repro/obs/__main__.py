@@ -1,0 +1,77 @@
+"""CLI for the observability layer.
+
+Usage::
+
+    python -m repro.obs diff OLD.json NEW.json [--threshold 0.15] [-v]
+    python -m repro.obs snapshot
+
+``diff`` compares two JSON bench reports (e.g. ``BENCH_harness.json``
+baselines) and exits 1 on a wall-clock regression past the threshold,
+2 on malformed input — the perf-regression gate of the verify recipe.
+``snapshot`` prints the unified metrics snapshot of a fresh process
+(mostly useful for schema inspection).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .diff import ReportError, diff_reports, load_report
+from .metrics import snapshot
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Observability tools: perf diffs and metrics snapshots.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_diff = sub.add_parser(
+        "diff", help="compare two JSON bench reports for perf regressions"
+    )
+    p_diff.add_argument("old", help="baseline report (e.g. BENCH_harness.json)")
+    p_diff.add_argument("new", help="candidate report")
+    p_diff.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="allowed relative slowdown for timing keys (default 0.15)",
+    )
+    p_diff.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="also print unchanged and non-timing leaves",
+    )
+
+    sub.add_parser("snapshot", help="print the unified metrics snapshot")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "snapshot":
+        print(json.dumps(snapshot(), indent=2, sort_keys=True))
+        return 0
+
+    if args.threshold < 0:
+        print(
+            f"error: --threshold must be >= 0, got {args.threshold}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        old = load_report(args.old)
+        new = load_report(args.new)
+    except ReportError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = diff_reports(old, new, threshold=args.threshold)
+    print(f"diff {args.old} -> {args.new}")
+    print(result.render(verbose=args.verbose))
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,94 @@
+"""Process-wide counters registry and the unified metrics snapshot.
+
+Before this module, run statistics lived in scattered places: the
+estimate cache kept hit/miss/eviction/disk-error counts on its own
+instance, the bench runner printed plan-check totals to stderr, and the
+process-pool fan-out had no accounting at all.  :data:`METRICS` is the
+single registry those subsystems increment, and :func:`snapshot` merges
+it with the live estimate-cache stats into one plain dict — the payload
+embedded in every run manifest (:mod:`repro.obs.manifest`).
+
+Counter names are dotted, ``subsystem.event``:
+
+* ``parallel.pool_runs`` / ``parallel.pool_fallbacks`` /
+  ``parallel.serial_runs`` / ``parallel.items`` — fan-out accounting;
+* ``plan_check.checked`` / ``plan_check.failed`` and
+  ``plan_check.diag_<severity>`` — static schedule checker totals;
+* ``bench.sweeps`` / ``bench.reports`` — harness activity;
+* ``gnn.spmm_ops`` / ``gnn.sddmm_ops`` / ``gnn.gemm_ops`` — training
+  accrual (see :mod:`repro.gnn.timing`);
+* ``gpusim.trace_replays`` / ``gpusim.profile_reports`` — validation
+  tooling usage;
+* ``estimate_cache.*`` — merged in at snapshot time from
+  :func:`repro.perf.estimate_cache.estimate_cache_stats`.
+
+Everything is deterministic given the same inputs, so manifests diff
+cleanly across runs; only host timings (which never enter the registry)
+vary by machine.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class MetricsRegistry:
+    """A named-counter registry; thread-safe, insertion-ordered."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+
+    def inc(self, name: str, value: float = 1) -> None:
+        """Add ``value`` (default 1) to counter ``name``."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def get(self, name: str, default: float = 0) -> float:
+        with self._lock:
+            return self._counters.get(name, default)
+
+    def counters(self) -> dict[str, float]:
+        """A sorted copy of every counter."""
+        with self._lock:
+            return dict(sorted(self._counters.items()))
+
+    def reset(self) -> None:
+        """Drop all counters (tests and fresh harness runs)."""
+        with self._lock:
+            self._counters.clear()
+
+
+#: The process-wide registry all subsystems increment.
+METRICS = MetricsRegistry()
+
+
+def snapshot() -> dict:
+    """Unified metrics snapshot: registry counters + live subsystem stats.
+
+    The estimate cache keeps its counters on the cache object (they
+    survive env-driven reconfiguration — see
+    :func:`repro.perf.estimate_cache.get_estimate_cache`), so they are
+    merged here at read time rather than double-counted on every hit.
+    """
+    # Imported lazily: repro.perf.parallel imports this module, so a
+    # top-level import would be circular.
+    from ..perf.estimate_cache import estimate_cache_stats
+    from .tracer import get_tracer
+
+    out = METRICS.counters()
+    cache = estimate_cache_stats()
+    out.update(
+        {
+            "estimate_cache.hits": cache.hits,
+            "estimate_cache.misses": cache.misses,
+            "estimate_cache.disk_hits": cache.disk_hits,
+            "estimate_cache.disk_errors": cache.disk_errors,
+            "estimate_cache.evictions": cache.evictions,
+            "estimate_cache.entries": cache.entries,
+            "estimate_cache.stored_bytes": cache.stored_bytes,
+        }
+    )
+    tracer = get_tracer()
+    out["trace.spans"] = len(tracer.spans) if tracer is not None else 0
+    return dict(sorted(out.items()))

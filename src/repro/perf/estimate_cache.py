@@ -32,6 +32,7 @@ from collections import OrderedDict
 from dataclasses import asdict, dataclass
 
 from ..gpusim import CostParams, DeviceSpec, KernelStats
+from ..obs import trace_span
 from .fingerprint import (
     dataclass_fingerprint,
     kernel_config_fingerprint,
@@ -218,17 +219,51 @@ def cache_enabled() -> bool:
     return flag in ("", "0")
 
 
+def _resolve_cache_size() -> int:
+    """``REPRO_ESTIMATE_CACHE_SIZE`` as a validated positive integer."""
+    raw = os.environ.get("REPRO_ESTIMATE_CACHE_SIZE", "").strip()
+    if not raw:
+        return 4096
+    try:
+        size = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_ESTIMATE_CACHE_SIZE must be a positive integer "
+            f"(LRU capacity in entries); got {raw!r}"
+        ) from None
+    if size <= 0:
+        raise ValueError(
+            f"REPRO_ESTIMATE_CACHE_SIZE must be a positive integer "
+            f"(LRU capacity in entries); got {size}"
+        )
+    return size
+
+
 def get_estimate_cache() -> EstimateCache:
-    """The process-wide cache (created on first use)."""
+    """The process-wide cache (created on first use).
+
+    An environment change (``REPRO_ESTIMATE_CACHE_DIR`` /
+    ``REPRO_ESTIMATE_CACHE_SIZE``) rebuilds the cache with the new
+    configuration, but the hit/miss/eviction/disk counters carry over —
+    reconfiguring mid-run must not zero the run's accounting (the
+    unified :func:`repro.obs.metrics.snapshot` reads them).
+    """
     global _GLOBAL_CACHE
     disk_dir = os.environ.get("REPRO_ESTIMATE_CACHE_DIR") or None
-    size = int(os.environ.get("REPRO_ESTIMATE_CACHE_SIZE", "4096"))
+    size = _resolve_cache_size()
     if (
         _GLOBAL_CACHE is None
         or _GLOBAL_CACHE.disk_dir != disk_dir
         or _GLOBAL_CACHE.max_entries != size
     ):
-        _GLOBAL_CACHE = EstimateCache(max_entries=size, disk_dir=disk_dir)
+        fresh = EstimateCache(max_entries=size, disk_dir=disk_dir)
+        if _GLOBAL_CACHE is not None:
+            fresh.hits = _GLOBAL_CACHE.hits
+            fresh.misses = _GLOBAL_CACHE.misses
+            fresh.disk_hits = _GLOBAL_CACHE.disk_hits
+            fresh.disk_errors = _GLOBAL_CACHE.disk_errors
+            fresh.evictions = _GLOBAL_CACHE.evictions
+        _GLOBAL_CACHE = fresh
     return _GLOBAL_CACHE
 
 
@@ -245,14 +280,22 @@ def cached_estimate(
     device: DeviceSpec,
     cost: CostParams,
 ) -> Entry:
-    """Memoized ``kernel._estimate`` — the routing point for the API."""
+    """Memoized ``kernel._estimate`` — the routing point for the API.
+
+    Cache misses (the actual cost-model evaluations) are traced as
+    ``estimate.compute`` host spans when ``REPRO_TRACE`` is on; hits
+    never enter the trace, so the span count is the miss count.
+    """
     if not cache_enabled():
         return kernel._estimate(S, k, device, cost)
     cache = get_estimate_cache()
     key = cache.make_key(op, kernel, S, k, device, cost)
     entry = cache.get(key)
     if entry is None:
-        stats, pre = kernel._estimate(S, k, device, cost)
+        with trace_span(
+            "estimate.compute", cat="cache", op=op, kernel=kernel.name, k=k
+        ):
+            stats, pre = kernel._estimate(S, k, device, cost)
         entry = (stats, float(pre))
         cache.put(key, stats, pre)
     return entry

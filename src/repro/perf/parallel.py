@@ -2,10 +2,20 @@
 
 ``parallel_map`` is a deterministic-order ``map`` that fans work items
 over a ``concurrent.futures`` process pool when ``REPRO_JOBS`` asks for
-more than one worker, and degrades to a plain in-process loop otherwise
-(or whenever a pool cannot be built — nested pools, unpicklable items,
-missing semaphores in sandboxes).  Results always come back in item
-order, so serial and parallel sweeps produce identical output.
+more than one worker, and degrades to a plain in-process loop otherwise.
+The serial fallback is reserved for *pool* failures — a pool that cannot
+be built (nested pools, missing semaphores in sandboxes), work that
+cannot be pickled (lambdas, closures), or worker processes dying — never
+for exceptions raised by ``fn`` itself: a deterministic error at one
+sweep point (e.g. a plan-check failure) propagates immediately instead
+of silently re-running the whole sweep serially, which used to double
+the work and re-execute side effects before re-raising the same error.
+
+Results always come back in item order, so serial and parallel sweeps
+produce identical output.  Fan-out activity is visible in the
+observability layer: ``parallel.pool_runs`` / ``parallel.pool_fallbacks``
+/ ``parallel.serial_runs`` counters in :data:`repro.obs.METRICS`, and a
+``parallel_map`` span on the host trace when ``REPRO_TRACE`` is on.
 
 ``REPRO_JOBS`` semantics: unset or ``1`` → serial; ``N`` → N workers;
 ``0`` or ``auto`` → one worker per CPU.
@@ -15,11 +25,25 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence, TypeVar
+
+from ..obs import METRICS, trace_span
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: Pool-infrastructure failures that justify the serial fallback.
+#: ``BrokenProcessPool``: a worker died (fork bomb guard, OOM kill);
+#: ``PicklingError``: ``fn``/items/results cannot cross the process
+#: boundary.  Exceptions *raised by fn* are none of these and propagate.
+_POOL_RUNTIME_FAILURES = (BrokenProcessPool, pickle.PicklingError)
+
+#: Failures constructing the pool itself (queues need semaphores some
+#: sandboxes forbid; a missing start method raises ValueError).
+_POOL_SETUP_FAILURES = (OSError, PermissionError, ValueError, ImportError)
 
 
 def resolve_jobs(num_items: int | None = None) -> int:
@@ -47,6 +71,33 @@ def _pool_context():
     return None
 
 
+def _serial_map(fn: Callable[[T], R], seq: Sequence[T]) -> list[R]:
+    METRICS.inc("parallel.serial_runs")
+    METRICS.inc("parallel.items", len(seq))
+    return [fn(item) for item in seq]
+
+
+def _work_is_picklable(fn: Callable, seq: Sequence) -> bool:
+    """Parent-side pre-check that work can cross the process boundary.
+
+    Unpicklable callables surface from the pool as ``AttributeError`` /
+    ``TypeError`` — the same types ``fn`` itself may raise — so checking
+    after the fact cannot distinguish a pool problem from a real worker
+    error.  Checking before keeps the serial fallback for lambdas and
+    closures without swallowing deterministic worker exceptions.  Items
+    are homogeneous in every sweep, so the first one is representative
+    (pickling all of them would double the pool's own serialization
+    work).
+    """
+    try:
+        pickle.dumps(fn)
+        if seq:
+            pickle.dumps(seq[0])
+    except Exception:
+        return False
+    return True
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T],
@@ -56,18 +107,35 @@ def parallel_map(
     """Map ``fn`` over ``items`` with deterministic result ordering.
 
     ``fn`` must be a module-level callable and items picklable for the
-    parallel path; any failure to run the pool falls back to the serial
-    loop, so callers never need to special-case the environment.
+    parallel path; a pool that cannot be built or fed falls back to the
+    serial loop (counted in ``parallel.pool_fallbacks``).  Exceptions
+    raised *by fn* — deterministic failures like a plan-check error at
+    one sweep point — propagate from both paths without a serial retry.
     """
     seq: Sequence[T] = items if isinstance(items, Sequence) else list(items)
     if jobs is None:
         jobs = resolve_jobs(len(seq))
     if jobs <= 1 or len(seq) <= 1:
-        return [fn(item) for item in seq]
+        return _serial_map(fn, seq)
+    if not _work_is_picklable(fn, seq):
+        METRICS.inc("parallel.pool_fallbacks")
+        return _serial_map(fn, seq)
+
     try:
-        with ProcessPoolExecutor(
-            max_workers=jobs, mp_context=_pool_context()
-        ) as pool:
-            return list(pool.map(fn, seq))
-    except Exception:
-        return [fn(item) for item in seq]
+        pool = ProcessPoolExecutor(max_workers=jobs, mp_context=_pool_context())
+    except _POOL_SETUP_FAILURES:
+        METRICS.inc("parallel.pool_fallbacks")
+        return _serial_map(fn, seq)
+    try:
+        with trace_span("parallel_map", cat="perf", jobs=jobs, items=len(seq)):
+            with pool:
+                # submit + result (rather than pool.map) so a worker
+                # exception carries the original exception object.
+                futures = [pool.submit(fn, item) for item in seq]
+                results = [f.result() for f in futures]
+    except _POOL_RUNTIME_FAILURES:
+        METRICS.inc("parallel.pool_fallbacks")
+        return _serial_map(fn, seq)
+    METRICS.inc("parallel.pool_runs")
+    METRICS.inc("parallel.items", len(seq))
+    return results

@@ -57,6 +57,60 @@ def test_parallel_map_falls_back_on_unpicklable_work():
     assert out == [2, 3, 4]
 
 
+def _touch_and_maybe_fail(item):
+    """Append one line per execution, then fail on the marked item."""
+    path, x, fail_on = item
+    with open(path, "a") as f:
+        f.write(f"{x}\n")
+    if x == fail_on:
+        raise ValueError(f"deterministic failure at {x}")
+    return x * 10
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_worker_exception_propagates_without_serial_retry(tmp_path, jobs):
+    """Regression: a deterministic error raised by ``fn`` must propagate.
+
+    The old blanket ``except Exception`` silently re-ran the whole sweep
+    serially (doubling work and re-executing side effects) before
+    re-raising.  Each item's side effect must happen exactly once.
+    """
+    log = str(tmp_path / "executions.log")
+    items = [(log, x, 2) for x in range(4)]
+    with pytest.raises(ValueError, match="deterministic failure at 2"):
+        parallel_map(_touch_and_maybe_fail, items, jobs=jobs)
+    with open(log) as f:
+        executed = sorted(int(line) for line in f if line.strip())
+    # Every item at most once — in particular no serial re-run of item 0.
+    assert executed.count(0) == 1
+    assert executed.count(2) == 1
+
+
+def _raise_oserror(item):
+    raise OSError(f"fn-level OSError on {item}")
+
+
+def test_fn_oserror_is_not_mistaken_for_pool_setup_failure():
+    """OSError from ``fn`` is a worker error, not a pool failure."""
+    with pytest.raises(OSError, match="fn-level OSError"):
+        parallel_map(_raise_oserror, [1, 2], jobs=2)
+
+
+def test_plan_check_error_propagates_from_parallel_sweep(monkeypatch):
+    """The sweep-point scenario from the issue: a plan-check failure at
+    one point aborts the sweep instead of re-running it serially."""
+    from repro.bench import runner as runner_mod
+    from repro.bench.runner import PlanCheckError, sweep_spmm
+
+    def exploding_check(plan):
+        raise PlanCheckError("injected plan failure")
+
+    monkeypatch.setattr(runner_mod, "check_plan", exploding_check)
+    graphs = [("a", random_hybrid(200, 200, 1500, seed=41))]
+    with pytest.raises(PlanCheckError):
+        sweep_spmm(graphs, ("hp-spmm",), k=32, jobs=1)
+
+
 # ----------------------------------------------------------------------
 # Serial == parallel sweeps (satellite acceptance)
 # ----------------------------------------------------------------------

@@ -1,0 +1,102 @@
+"""Regression tests: TimingContext kernel-time cache keying.
+
+The cache used to key on ``id(S)``.  CPython reuses object ids after
+garbage collection, so a sampling-mode training loop that creates and
+drops one subgraph matrix per iteration could read a stale time for a
+*different* matrix.  The key is now the structural fingerprint from
+:mod:`repro.perf.fingerprint` (+ K).
+"""
+
+import gc
+
+import pytest
+
+from repro.gnn.timing import TimingContext
+
+from tests.conftest import random_hybrid
+
+pytestmark = pytest.mark.obs
+
+
+def test_cache_keys_on_structure_not_identity():
+    """Two objects with identical structure share one cache entry.
+
+    Pre-fix (id keys) this recomputed per object and held two entries.
+    """
+    ctx = TimingContext()
+    a = random_hybrid(200, 200, 2000, seed=7)
+    b = random_hybrid(200, 200, 2000, seed=7)
+    assert a is not b
+    t_a = ctx.spmm_time(a, 32)
+    t_b = ctx.spmm_time(b, 32)
+    assert t_a == t_b
+    assert len(ctx._spmm_cache) == 1
+
+
+def test_different_structures_get_different_entries():
+    ctx = TimingContext()
+    a = random_hybrid(200, 200, 2000, seed=7)
+    c = random_hybrid(300, 300, 9000, seed=8)
+    t_a = ctx.spmm_time(a, 32)
+    t_c = ctx.spmm_time(c, 32)
+    assert t_a != t_c
+    assert len(ctx._spmm_cache) == 2
+    # Same matrix, different K: its own entry too.
+    ctx.spmm_time(a, 64)
+    assert len(ctx._spmm_cache) == 3
+
+
+def test_id_reuse_does_not_serve_stale_times():
+    """Force CPython id reuse and check the time tracks the new matrix.
+
+    This is the sampling-mode training pattern: one subgraph matrix per
+    iteration, the previous one dropped.  Pre-fix, the recycled id made
+    ``spmm_time`` return the *old* matrix's cached time.
+    """
+    from repro.formats.hybrid import HybridMatrix
+
+    ctx = TimingContext()
+    first = random_hybrid(200, 200, 1000, seed=50)
+    # Pre-build the 4x-larger matrix's arrays so that, once ``first`` is
+    # freed, the only allocations are bare HybridMatrix wrappers of the
+    # same size class as the freed instance.
+    big = random_hybrid(400, 400, 8000, seed=60)
+    row, col, val, shape = big.row, big.col, big.val, big.shape
+    del big
+    t_first = ctx.spmm_time(first, 32)
+    reused_id = id(first)
+    del first
+    gc.collect()
+    # ``first``'s slot now sits in the allocator's free list.  Allocate
+    # same-sized instances, keeping misses alive, until the free list
+    # hands that slot back.
+    second = None
+    hold = []
+    for _ in range(65536):
+        cand = HybridMatrix(row=row, col=col, val=val, shape=shape)
+        if id(cand) == reused_id:
+            second = cand
+            break
+        hold.append(cand)
+    if second is None:
+        pytest.skip("interpreter did not reuse the object id")
+    t_second = ctx.spmm_time(second, 32)
+    # A 4x larger matrix cannot have the same simulated time: equality
+    # here means the stale entry for the dead matrix was served.
+    assert t_second != t_first
+
+
+def test_sddmm_cache_also_keys_on_structure():
+    ctx = TimingContext()
+    a = random_hybrid(200, 200, 2000, seed=7)
+    b = random_hybrid(200, 200, 2000, seed=7)
+    assert ctx.sddmm_time(a, 32) == ctx.sddmm_time(b, 32)
+    assert len(ctx._sddmm_cache) == 1
+
+
+def test_record_ops_accrue_through_structural_cache(small_matrix):
+    ctx = TimingContext()
+    ctx.record_spmm(small_matrix, 32)
+    ctx.record_spmm(small_matrix, 32)
+    assert ctx.num_sparse_ops == 2
+    assert ctx.sparse_s == pytest.approx(2 * ctx.spmm_time(small_matrix, 32))

@@ -1,0 +1,97 @@
+"""The unified counters registry and its subsystem integrations."""
+
+import pytest
+
+from repro.obs import METRICS, MetricsRegistry, snapshot
+from repro.perf import get_estimate_cache, parallel_map
+
+from tests.conftest import random_hybrid
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture(autouse=True)
+def fresh_metrics(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    METRICS.reset()
+    get_estimate_cache().clear()
+    yield
+    METRICS.reset()
+
+
+# ----------------------------------------------------------------------
+# Registry basics
+# ----------------------------------------------------------------------
+
+def test_registry_inc_get_reset():
+    reg = MetricsRegistry()
+    assert reg.get("a") == 0
+    reg.inc("a")
+    reg.inc("a", 4)
+    reg.inc("b", 2.5)
+    assert reg.get("a") == 5
+    assert reg.counters() == {"a": 5, "b": 2.5}
+    reg.reset()
+    assert reg.counters() == {}
+
+
+def test_snapshot_merges_estimate_cache_counters(small_matrix):
+    from repro.kernels import make_spmm
+
+    kern = make_spmm("hp-spmm")
+    kern.estimate(small_matrix, 64)
+    kern.estimate(small_matrix, 64)
+    snap = snapshot()
+    assert snap["estimate_cache.misses"] == 1
+    assert snap["estimate_cache.hits"] == 1
+    assert snap["estimate_cache.entries"] == 1
+    assert snap["trace.spans"] == 0  # tracing off
+
+
+# ----------------------------------------------------------------------
+# Subsystem integrations
+# ----------------------------------------------------------------------
+
+def test_parallel_map_counts_pool_and_fallback_runs():
+    parallel_map(abs, [1, -2, 3], jobs=1)
+    assert METRICS.get("parallel.serial_runs") == 1
+    assert METRICS.get("parallel.items") == 3
+    # A lambda cannot cross the process boundary: counted as a fallback.
+    parallel_map(lambda x: x, [1, 2], jobs=2)
+    assert METRICS.get("parallel.pool_fallbacks") == 1
+    assert METRICS.get("parallel.serial_runs") == 2
+    parallel_map(abs, [1, -2], jobs=2)
+    assert METRICS.get("parallel.pool_runs") == 1
+
+
+def test_sweep_counts_plan_checks():
+    from repro.bench.runner import sweep_spmm
+
+    graphs = [("g", random_hybrid(200, 200, 1500, seed=31))]
+    sweep_spmm(graphs, ("hp-spmm", "ge-spmm"), k=32)
+    assert METRICS.get("plan_check.checked") == 2
+    assert METRICS.get("bench.sweeps") == 1
+
+
+def test_timing_context_counts_ops(small_matrix):
+    from repro.gnn.timing import TimingContext
+
+    ctx = TimingContext()
+    ctx.record_spmm(small_matrix, 32)
+    ctx.record_spmm(small_matrix, 32)
+    ctx.record_gemm(64, 64, 64)
+    assert METRICS.get("gnn.spmm_ops") == 2
+    assert METRICS.get("gnn.gemm_ops") == 1
+
+
+def test_trace_replay_and_profile_report_counted(paper_fig2_matrix):
+    from repro.gpusim import TESLA_V100
+    from repro.gpusim.profile import profile_report
+    from repro.gpusim.trace import trace_hp_spmm
+    from repro.kernels import make_spmm
+
+    trace_hp_spmm(paper_fig2_matrix, 32, nnz_per_warp=4)
+    assert METRICS.get("gpusim.trace_replays") == 1
+    res = make_spmm("hp-spmm").estimate(paper_fig2_matrix, 32)
+    profile_report(res.stats, TESLA_V100, kernel_name="hp-spmm")
+    assert METRICS.get("gpusim.profile_reports") == 1

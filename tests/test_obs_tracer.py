@@ -1,0 +1,175 @@
+"""The span tracer: off-by-default, nesting, Chrome-trace export."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Tracer,
+    export_trace,
+    get_tracer,
+    set_tracer,
+    trace_emit,
+    trace_span,
+    traced,
+    tracing_enabled,
+)
+from repro.obs.tracer import HOST_TRACK, SIM_TRACK, _TRACK_PIDS
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture(autouse=True)
+def no_tracer(monkeypatch):
+    """Every test starts (and ends) with tracing fully off."""
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    set_tracer(None)
+    yield
+    set_tracer(None)
+
+
+# ----------------------------------------------------------------------
+# Disabled by default
+# ----------------------------------------------------------------------
+
+def test_tracing_disabled_by_default():
+    assert not tracing_enabled()
+    assert get_tracer() is None
+    assert export_trace() is None
+
+
+def test_disabled_spans_are_one_shared_noop_object():
+    """The disabled path must allocate nothing per call."""
+    cm1 = trace_span("anything", cat="x", arg=1)
+    cm2 = trace_span("else")
+    assert cm1 is cm2
+    with cm1:
+        pass  # and it is a working context manager
+    trace_emit("sim", 0.0, 1.0)  # no-op, no error
+
+
+def test_env_var_enables_tracing(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_TRACE", str(tmp_path / "t.json"))
+    set_tracer(None)  # re-arm the env check
+    assert tracing_enabled()
+    with trace_span("from-env"):
+        pass
+    path = export_trace()
+    assert path == str(tmp_path / "t.json")
+    with open(path) as f:
+        doc = json.load(f)
+    assert any(e.get("name") == "from-env" for e in doc["traceEvents"])
+
+
+def test_env_value_zero_means_off(monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE", "0")
+    set_tracer(None)
+    assert not tracing_enabled()
+
+
+# ----------------------------------------------------------------------
+# Span recording + nesting
+# ----------------------------------------------------------------------
+
+def test_span_nesting_depth_and_containment():
+    tracer = Tracer()
+    set_tracer(tracer)
+    with trace_span("outer", cat="t"):
+        with trace_span("inner", cat="t"):
+            pass
+        with trace_span("inner2", cat="t"):
+            pass
+    # Spans are appended on *exit*: inner, inner2, outer.
+    names = [s.name for s in tracer.spans]
+    assert names == ["inner", "inner2", "outer"]
+    inner, inner2, outer = tracer.spans
+    assert outer.depth == 0 and inner.depth == 1 and inner2.depth == 1
+    # Wall-clock containment: children start/end inside the parent.
+    for child in (inner, inner2):
+        assert child.ts_us >= outer.ts_us
+        assert child.ts_us + child.dur_us <= outer.ts_us + outer.dur_us + 1e-6
+    # inner2 starts after inner ends.
+    assert inner2.ts_us >= inner.ts_us + inner.dur_us
+
+
+def test_span_records_args_and_exceptions_still_close():
+    tracer = Tracer()
+    set_tracer(tracer)
+    with pytest.raises(RuntimeError):
+        with trace_span("boom", cat="t", graph="flickr", k=64):
+            raise RuntimeError("inside")
+    (span,) = tracer.spans
+    assert span.args == {"graph": "flickr", "k": 64}
+    assert span.dur_us >= 0.0
+
+
+def test_traced_decorator_wraps_calls():
+    tracer = Tracer()
+    set_tracer(tracer)
+
+    @traced("fn-span", cat="t")
+    def double(x):
+        return 2 * x
+
+    assert double(21) == 42
+    assert [s.name for s in tracer.spans] == ["fn-span"]
+
+
+def test_trace_emit_places_span_on_sim_track():
+    tracer = Tracer()
+    set_tracer(tracer)
+    trace_emit("spmm[hp-spmm]", ts_us=10.0, dur_us=5.0, cat="gnn", nnz=100)
+    (span,) = tracer.spans
+    assert span.track == SIM_TRACK
+    assert span.ts_us == 10.0 and span.dur_us == 5.0
+    assert span.args == {"nnz": 100}
+
+
+# ----------------------------------------------------------------------
+# Chrome-trace export schema
+# ----------------------------------------------------------------------
+
+def test_chrome_trace_schema(tmp_path):
+    tracer = Tracer()
+    set_tracer(tracer, str(tmp_path / "trace.json"))
+    with trace_span("host-span", cat="bench", graph="g"):
+        pass
+    trace_emit("sim-span", ts_us=0.0, dur_us=2.5)
+    path = export_trace()
+    with open(path) as f:
+        doc = json.load(f)
+
+    assert set(doc) == {"traceEvents", "displayTimeUnit"}
+    events = doc["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    spans = [e for e in events if e["ph"] == "X"]
+    # Both tracks announce a process_name for the viewer.
+    assert {m["args"]["name"] for m in meta} == {
+        f"repro:{HOST_TRACK}", f"repro:{SIM_TRACK}"
+    }
+    assert len(spans) == 2
+    for e in spans:
+        assert set(e) >= {"name", "cat", "ph", "ts", "dur", "pid", "tid"}
+        assert isinstance(e["ts"], float) and isinstance(e["dur"], float)
+    by_name = {e["name"]: e for e in spans}
+    assert by_name["host-span"]["pid"] == _TRACK_PIDS[HOST_TRACK]
+    assert by_name["host-span"]["args"] == {"graph": "g"}
+    assert by_name["sim-span"]["pid"] == _TRACK_PIDS[SIM_TRACK]
+
+
+def test_instrumented_estimate_produces_spans(small_matrix):
+    from repro.kernels import make_spmm
+    from repro.perf import get_estimate_cache
+
+    get_estimate_cache().clear()
+    tracer = Tracer()
+    set_tracer(tracer)
+    make_spmm("hp-spmm").estimate(small_matrix, 64)
+    names = [s.name for s in tracer.spans]
+    assert "spmm.estimate" in names
+    assert "estimate.compute" in names  # cold call: the miss is traced
+    tracer.spans.clear()
+    make_spmm("hp-spmm").estimate(small_matrix, 64)
+    names = [s.name for s in tracer.spans]
+    assert "spmm.estimate" in names
+    assert "estimate.compute" not in names  # warm call: hit, no compute

@@ -120,6 +120,42 @@ def test_bypass_env_var(small_matrix, monkeypatch):
     assert r1.stats == r2.stats
 
 
+def test_cache_size_env_validation(monkeypatch):
+    """Regression: a bad REPRO_ESTIMATE_CACHE_SIZE used to crash with a
+    bare int() ValueError that never named the env var."""
+    monkeypatch.setenv("REPRO_ESTIMATE_CACHE_SIZE", "many")
+    with pytest.raises(ValueError, match="REPRO_ESTIMATE_CACHE_SIZE"):
+        get_estimate_cache()
+    monkeypatch.setenv("REPRO_ESTIMATE_CACHE_SIZE", "-8")
+    with pytest.raises(ValueError, match="REPRO_ESTIMATE_CACHE_SIZE"):
+        get_estimate_cache()
+    monkeypatch.setenv("REPRO_ESTIMATE_CACHE_SIZE", "0")
+    with pytest.raises(ValueError, match="REPRO_ESTIMATE_CACHE_SIZE"):
+        get_estimate_cache()
+    # Empty string falls back to the default instead of erroring.
+    monkeypatch.setenv("REPRO_ESTIMATE_CACHE_SIZE", "")
+    assert get_estimate_cache().max_entries == 4096
+
+
+def test_counters_survive_env_reconfiguration(small_matrix, monkeypatch):
+    """Regression: reconfiguring the singleton used to zero all counters
+    mid-run, so observability snapshots lost the run's history."""
+    kern = make_spmm("hp-spmm")
+    kern.estimate(small_matrix, 64)
+    kern.estimate(small_matrix, 64)
+    before = get_estimate_cache().stats()
+    assert (before.hits, before.misses) == (1, 1)
+    monkeypatch.setenv("REPRO_ESTIMATE_CACHE_SIZE", "128")
+    cache = get_estimate_cache()
+    assert cache.max_entries == 128          # reconfigured...
+    after = cache.stats()
+    assert (after.hits, after.misses) == (1, 1)  # ...counters carried
+    assert after.entries == 0                # entries are rebuilt
+    # And the run keeps accounting on the new instance.
+    kern.estimate(small_matrix, 64)
+    assert get_estimate_cache().stats().misses == 2
+
+
 def test_lru_eviction(small_matrix, medium_matrix, monkeypatch):
     monkeypatch.setenv("REPRO_ESTIMATE_CACHE_SIZE", "1")
     cache = get_estimate_cache()
