@@ -18,16 +18,90 @@ a grid of thread blocks:
   Partition fixes by raising the warp count.
 
 * **Fixed overheads.**  Block dispatch and kernel launch latency.
+
+With tracing on (``REPRO_TRACE``), every simulated launch also lands on
+the ``sim-gpu`` trace track as a ``launch[<bound>]`` span containing one
+span per scheduling wave, so the tail effect is directly visible in
+Perfetto (the final wave's span is shorter and reports its occupancy).
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import trace_emit, tracing_enabled
 from .costmodel import DEFAULT_COST, CostParams, WarpWorkload, warp_critical_cycles
 from .device import DeviceSpec
+
+#: Cap on individually emitted wave spans per launch; launches with more
+#: waves aggregate the tail into one span so estimate-heavy sweeps under
+#: tracing do not balloon the trace file.
+_MAX_WAVE_SPANS = 64
+
+#: Simulated-timeline cursor (µs): successive traced launches are placed
+#: back to back on the sim-gpu track so a sweep opens as one readable
+#: timeline rather than a pile of overlapping launches at t=0.
+_SIM_CURSOR_LOCK = threading.Lock()
+_SIM_CURSOR_US = 0.0
+
+
+def _emit_wave_spans(
+    time_s: float,
+    bound: str,
+    block_cycles: np.ndarray,
+    slots: int,
+    num_waves: int,
+) -> None:
+    """Place one traced launch (and its scheduling waves) on the sim track.
+
+    Wave durations split the launch's total time proportionally to each
+    wave's summed block cycles — the quantity the list-scheduling bound
+    actually balances — so a partial final wave (the tail effect) shows
+    up as a visibly shorter span with sub-1.0 ``occupancy``.
+    """
+    global _SIM_CURSOR_US
+    total_us = time_s * 1e6
+    with _SIM_CURSOR_LOCK:
+        start_us = _SIM_CURSOR_US
+        _SIM_CURSOR_US = start_us + total_us
+    trace_emit(
+        f"launch[{bound}]",
+        ts_us=start_us,
+        dur_us=total_us,
+        cat="gpusim",
+        blocks=int(block_cycles.size),
+        waves=int(num_waves),
+    )
+    total_cycles = float(block_cycles.sum())
+    detailed = min(num_waves, _MAX_WAVE_SPANS)
+    cursor = start_us
+    for w in range(detailed):
+        last_detailed = w == detailed - 1
+        if last_detailed and detailed < num_waves:
+            wave = block_cycles[w * slots:]
+            name = f"wave[{w + 1}..{num_waves}/{num_waves}]"
+        else:
+            wave = block_cycles[w * slots:(w + 1) * slots]
+            name = f"wave[{w + 1}/{num_waves}]"
+        share = (
+            float(wave.sum()) / total_cycles
+            if total_cycles > 0
+            else wave.size / block_cycles.size
+        )
+        dur_us = total_us * share
+        trace_emit(
+            name,
+            ts_us=cursor,
+            dur_us=dur_us,
+            cat="gpusim",
+            blocks=int(wave.size),
+            occupancy=round(min(1.0, wave.size / slots), 4),
+            max_block_cycles=float(wave.max()),
+        )
+        cursor += dur_us
 
 
 @dataclass(frozen=True)
@@ -199,6 +273,8 @@ def simulate_launch(
     num_waves = -(-num_blocks // slots)
     tail_blocks = num_blocks - (num_waves - 1) * slots
     time_s = total_cycles / device.clock_hz + device.kernel_launch_overhead_s
+    if tracing_enabled():
+        _emit_wave_spans(time_s, bound, block_cycles, slots, num_waves)
     return KernelStats(
         time_s=time_s,
         cycles=float(total_cycles),

@@ -27,7 +27,17 @@ Environment variables
     path ``repro-trace.json``; any other value is the output path.
 """
 
-from .metrics import METRICS, MetricsRegistry, snapshot
+from .metrics import (
+    DEFAULT_LATENCY_BOUNDS_S,
+    METRICS,
+    LatencyHistogram,
+    MetricsRegistry,
+    get_histogram,
+    histogram_summaries,
+    observe_latency,
+    reset_histograms,
+    snapshot,
+)
 from .tracer import (
     Tracer,
     export_trace,
@@ -41,8 +51,14 @@ from .tracer import (
 from .manifest import run_manifest, write_manifest
 
 __all__ = [
+    "DEFAULT_LATENCY_BOUNDS_S",
     "METRICS",
+    "LatencyHistogram",
     "MetricsRegistry",
+    "get_histogram",
+    "histogram_summaries",
+    "observe_latency",
+    "reset_histograms",
     "snapshot",
     "Tracer",
     "export_trace",

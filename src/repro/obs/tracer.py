@@ -12,9 +12,12 @@ Tracing is **off by default** and costs one module-global check plus a
 shared no-op context manager per call when disabled.  Enable it with
 ``REPRO_TRACE=<path>`` (or ``REPRO_TRACE=1`` for ``repro-trace.json``);
 the bench CLI and the wall-clock harness export automatically, and an
-``atexit`` hook covers ad-hoc scripts.  Spans recorded inside process-
-pool workers stay in those workers — run with ``REPRO_JOBS`` unset for a
-single-process trace of every sweep point.
+``atexit`` hook covers ad-hoc scripts.  Spans recorded inside
+``REPRO_JOBS`` process-pool workers are shipped back with each work
+item's result and spliced onto the parent trace (see
+:func:`repro.perf.parallel_map`), so parallel sweeps produce complete
+traces too — worker spans carry a ``pool_worker`` arg with the worker's
+pid.
 
 The export format is the Chrome Trace Event ``traceEvents`` array of
 complete (``"ph": "X"``) events, which both ``chrome://tracing`` and
@@ -75,18 +78,43 @@ class SpanRecord:
 class Tracer:
     """Collects spans; thread-safe enough for the harness's use."""
 
-    def __init__(self) -> None:
+    def __init__(self, t0_ns: int | None = None) -> None:
         self.spans: list[SpanRecord] = []
         self._lock = threading.Lock()
         self._depths: dict[int, int] = {}
         # Trace timestamps are relative to tracer creation so the viewer
-        # opens at t=0 rather than at an epoch offset.
-        self._t0_ns = time.perf_counter_ns()  # lint: allow(wallclock) host-side tracing is a measured surface
+        # opens at t=0 rather than at an epoch offset.  Pool workers pass
+        # the parent tracer's ``t0_ns`` so their spans land on the parent
+        # timeline (``perf_counter_ns`` is CLOCK_MONOTONIC on Linux —
+        # shared across processes on one machine).
+        if t0_ns is None:
+            t0_ns = time.perf_counter_ns()  # lint: allow(wallclock) host-side tracing is a measured surface
+        self._t0_ns = int(t0_ns)
+
+    @property
+    def t0_ns(self) -> int:
+        """The monotonic-clock origin trace timestamps are relative to."""
+        return self._t0_ns
 
     # ------------------------------------------------------------------
     def _now_us(self) -> float:
         now_ns = time.perf_counter_ns()  # lint: allow(wallclock) host-side tracing is a measured surface
         return (now_ns - self._t0_ns) / 1e3
+
+    def now_us(self) -> float:
+        """Current offset on this tracer's timeline, in microseconds."""
+        return self._now_us()
+
+    def splice(self, spans) -> None:
+        """Append externally recorded spans (e.g. shipped back from
+        ``REPRO_JOBS`` pool workers by :func:`repro.perf.parallel_map`).
+
+        The spans must already be on this tracer's timeline — workers
+        achieve that by building their tracer with the parent's
+        :attr:`t0_ns`.
+        """
+        with self._lock:
+            self.spans.extend(spans)
 
     @contextmanager
     def span(self, name: str, cat: str = "", **args):

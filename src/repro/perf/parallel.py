@@ -17,6 +17,15 @@ observability layer: ``parallel.pool_runs`` / ``parallel.pool_fallbacks``
 / ``parallel.serial_runs`` counters in :data:`repro.obs.METRICS`, and a
 ``parallel_map`` span on the host trace when ``REPRO_TRACE`` is on.
 
+When tracing is active, work items are wrapped so each pool worker runs
+them under a fresh :class:`~repro.obs.tracer.Tracer` anchored at the
+parent tracer's ``t0_ns``; the worker's spans come back with the result
+and are spliced onto the parent's host track (tagged with a
+``pool_worker`` pid arg).  Spans used to die with the worker, leaving
+parallel traces with a bare ``parallel_map`` span and no sweep-point
+detail — serving batches fan out through this same path, so complete
+traces matter beyond the bench harness.
+
 ``REPRO_JOBS`` semantics: unset or ``1`` → serial; ``N`` → N workers;
 ``0`` or ``auto`` → one worker per CPU.
 """
@@ -31,6 +40,7 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from ..obs import METRICS, trace_span
+from ..obs.tracer import Tracer, get_tracer, set_tracer
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -75,6 +85,29 @@ def _serial_map(fn: Callable[[T], R], seq: Sequence[T]) -> list[R]:
     METRICS.inc("parallel.serial_runs")
     METRICS.inc("parallel.items", len(seq))
     return [fn(item) for item in seq]
+
+
+def _traced_call(payload: tuple):
+    """Pool-worker wrapper: run one item under a worker-local tracer.
+
+    The worker installs a fresh tracer anchored at the parent's
+    ``t0_ns`` (so span timestamps are already on the parent timeline),
+    runs the item, restores whatever tracer the worker had, and returns
+    ``(result, spans)``.  Exceptions from ``fn`` propagate unchanged —
+    only the spans of the failing item are lost.
+    """
+    fn, item, t0_ns = payload
+    prev = get_tracer()
+    worker_tracer = Tracer(t0_ns=t0_ns)
+    set_tracer(worker_tracer)
+    try:
+        result = fn(item)
+    finally:
+        set_tracer(prev)
+    pid = os.getpid()
+    for span in worker_tracer.spans:
+        span.args.setdefault("pool_worker", pid)
+    return result, worker_tracer.spans
 
 
 def _work_is_picklable(fn: Callable, seq: Sequence) -> bool:
@@ -126,13 +159,28 @@ def parallel_map(
     except _POOL_SETUP_FAILURES:
         METRICS.inc("parallel.pool_fallbacks")
         return _serial_map(fn, seq)
+    tracer = get_tracer()
     try:
         with trace_span("parallel_map", cat="perf", jobs=jobs, items=len(seq)):
             with pool:
                 # submit + result (rather than pool.map) so a worker
                 # exception carries the original exception object.
-                futures = [pool.submit(fn, item) for item in seq]
-                results = [f.result() for f in futures]
+                if tracer is None:
+                    futures = [pool.submit(fn, item) for item in seq]
+                    results = [f.result() for f in futures]
+                else:
+                    # Ship each item's worker spans back with its result
+                    # and splice them onto the parent trace.
+                    t0 = tracer.t0_ns
+                    futures = [
+                        pool.submit(_traced_call, (fn, item, t0))
+                        for item in seq
+                    ]
+                    results = []
+                    for f in futures:
+                        result, spans = f.result()
+                        results.append(result)
+                        tracer.splice(spans)
     except _POOL_RUNTIME_FAILURES:
         METRICS.inc("parallel.pool_fallbacks")
         return _serial_map(fn, seq)

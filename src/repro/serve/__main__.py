@@ -1,0 +1,125 @@
+"""CLI: replay a synthetic workload through the estimation server.
+
+Usage::
+
+    python -m repro.serve --workload smoke
+    python -m repro.serve --workload open-loop --requests 128
+    python -m repro.serve --list
+
+Writes ``results/serve_<workload>.json`` (override the directory with
+``REPRO_RESULTS_DIR``) plus a ``serve_<workload>.manifest.json`` run
+manifest whose metrics snapshot carries the serving counters and the
+``serve.request_latency`` p50/p95/p99.  ``REPRO_TRACE=<path>`` records
+per-request and per-batch spans alongside the usual estimate spans.
+
+Exit codes: 0 on success, 2 on configuration errors (unknown workload
+or invalid overrides) — matching the ``repro.obs diff`` convention.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import sys
+
+from ..bench.runner import results_dir
+from ..obs import export_trace, tracing_enabled, write_manifest
+from .workload import WORKLOADS, run_workload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Run a synthetic workload against the estimation server.",
+    )
+    parser.add_argument(
+        "--workload", default="smoke",
+        help=f"workload preset ({', '.join(WORKLOADS)})",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list workload presets and exit"
+    )
+    parser.add_argument(
+        "--requests", type=int, default=None, help="override request count"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override the stream seed"
+    )
+    parser.add_argument(
+        "--max-edges", type=int, default=None,
+        help="override the registry edge cap",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for batch fan-out (sets REPRO_JOBS)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, spec in WORKLOADS.items():
+            print(
+                f"{name}: mode={spec.mode} requests={spec.num_requests} "
+                f"graphs={','.join(spec.graphs)}"
+            )
+        return 0
+    if args.workload not in WORKLOADS:
+        print(
+            f"error: unknown workload {args.workload!r}; "
+            f"choose from {', '.join(WORKLOADS)}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.jobs is not None:
+        os.environ["REPRO_JOBS"] = str(args.jobs)
+
+    spec = WORKLOADS[args.workload]
+    overrides = {}
+    if args.requests is not None:
+        overrides["num_requests"] = args.requests
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.max_edges is not None:
+        overrides["max_edges"] = args.max_edges
+    if overrides:
+        try:
+            spec = dataclasses.replace(spec, **overrides)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    report = run_workload(spec)
+
+    experiment = f"serve_{spec.name}"
+    base = results_dir()
+    path = os.path.join(base, f"{experiment}.json")
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+    os.replace(tmp, path)
+    write_manifest(experiment, base, dataclasses.asdict(spec))
+
+    summary = report["summary"]
+    latency = report["latency_s"]
+    print(
+        f"[serve {spec.name}: {summary['requests']} requests in "
+        f"{summary['batches']} batches | "
+        f"ok={summary['by_status']['ok']} "
+        f"degraded={summary['by_status']['degraded']} "
+        f"timeout={summary['by_status']['timeout']} "
+        f"error={summary['by_status']['error']} | "
+        f"coalesced={summary['coalesced']} deduped={summary['deduped']} | "
+        f"p50={latency['p50'] * 1e3:.2f}ms p95={latency['p95'] * 1e3:.2f}ms "
+        f"p99={latency['p99'] * 1e3:.2f}ms -> {path}]",
+        file=sys.stderr,
+    )
+    if tracing_enabled():
+        trace_path = export_trace()
+        print(f"[trace -> {trace_path}]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""The two evaluation paths behind the estimation server.
+
+* :func:`full_estimate` is the authoritative path: the kernel's cost
+  model on the GPU simulator, routed through the process-wide estimate
+  cache (:mod:`repro.perf.estimate_cache`), exactly what the bench
+  harness reports.
+* :func:`quick_estimate` is the degraded path: a closed-form roofline
+  over aggregate matrix statistics (nnz, shape, K) with no warp-workload
+  construction, no memory-transaction modeling and no cache-model
+  sampling.  It is O(1), answers in microseconds, and is what the server
+  falls back to when a request's deadline cannot survive the full path.
+
+``_estimate_signature`` is the module-level (picklable) batch work unit:
+serving batches fan distinct request signatures over ``REPRO_JOBS`` pool
+workers through :func:`repro.perf.parallel_map`, the same fan-out path
+the bench sweeps use.  It traps evaluation errors per signature so one
+bad request cannot fail a whole micro-batch.
+"""
+
+from __future__ import annotations
+
+from ..formats import HybridMatrix
+from ..gpusim import DeviceSpec, get_device
+from ..kernels import make_sddmm, make_spmm
+from ..obs import trace_span
+
+#: op -> kernel factory (mirrors the bench runner's sweep makers).
+_MAKERS = {"spmm": make_spmm, "sddmm": make_sddmm}
+
+
+def full_estimate(
+    op: str, kernel: str, S: HybridMatrix, k: int, device: DeviceSpec
+) -> tuple[float, float, str]:
+    """Authoritative cost-model estimate: (time_s, preprocessing_s, bound)."""
+    result = _MAKERS[op](kernel).estimate(S, k, device=device)
+    return result.stats.time_s, result.preprocessing_s, result.stats.bound
+
+
+def quick_estimate(
+    op: str, S: HybridMatrix, k: int, device: DeviceSpec
+) -> tuple[float, str]:
+    """Closed-form roofline approximation: (time_s, bound).
+
+    Byte counts assume the compulsory traffic of each op — sparse
+    structure (8 B per nonzero for index+value), the gathered/streamed
+    K-wide operand rows, and the output — priced at peak DRAM bandwidth
+    against the FP32 FMA roofline.  No occupancy, imbalance, L2 or
+    tail-effect modeling: that is exactly the fidelity the degraded
+    path trades away for latency.
+    """
+    m = S.shape[0]
+    nnz = S.nnz
+    flops = 2.0 * nnz * k
+    if op == "spmm":
+        # indices+values, one gathered K-row per nonzero, dense output.
+        bytes_moved = 8.0 * nnz + 4.0 * k * nnz + 4.0 * k * m
+    else:  # sddmm: two K-row reads per nonzero, nnz-length output.
+        bytes_moved = 8.0 * nnz + 8.0 * k * nnz + 4.0 * nnz
+    t_mem = bytes_moved / device.dram_bandwidth
+    t_fma = flops / device.peak_fp32_flops
+    time_s = max(t_mem, t_fma) + device.kernel_launch_overhead_s
+    return time_s, ("dram" if t_mem >= t_fma else "fma")
+
+
+def _estimate_signature(
+    item: tuple[str, str, HybridMatrix, int, str],
+) -> tuple[str, tuple]:
+    """One deduplicated signature's full evaluation — the pool work unit.
+
+    Returns ``("ok", (time_s, preprocessing_s, bound))`` or
+    ``("error", (message,))``; errors are data, not exceptions, so
+    :func:`repro.perf.parallel_map` never aborts a batch over one bad
+    signature.
+    """
+    op, kernel, S, k, device_name = item
+    try:
+        with trace_span(
+            "serve.estimate", cat="serve", op=op, kernel=kernel, k=k
+        ):
+            device = get_device(device_name)
+            time_s, pre_s, bound = full_estimate(op, kernel, S, k, device)
+        return "ok", (time_s, pre_s, bound)
+    except Exception as exc:  # noqa: BLE001 - per-signature error capture
+        return "error", (f"{type(exc).__name__}: {exc}",)

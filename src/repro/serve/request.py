@@ -1,0 +1,102 @@
+"""Request/response records for the estimation-serving layer.
+
+A request names everything that identifies one kernel-estimate answer —
+op, kernel, graph-registry name, feature width, device — plus the
+serving policy for producing it: an optional relative deadline and
+whether a degraded (quick cost-model) answer is acceptable when the
+full simulation would miss that deadline.
+
+Two derived keys drive the server's batching:
+
+* :attr:`EstimateRequest.batch_key` — the *structural* identity (graph
+  name + edge cap).  Requests sharing it are micro-batched together so
+  the matrix is loaded once and their estimate-cache keys share the
+  same structural fingerprint.
+* :attr:`EstimateRequest.signature` — the *full* estimate identity.
+  Requests sharing it are answered by a single cost-model evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Operations the serving layer can estimate.
+VALID_OPS = ("spmm", "sddmm")
+
+#: Response statuses, in decreasing order of answer quality.
+STATUS_OK = "ok"              #: full cost-model simulation
+STATUS_DEGRADED = "degraded"  #: quick roofline answer (deadline pressure)
+STATUS_TIMEOUT = "timeout"    #: deadline missed, degradation not allowed
+STATUS_ERROR = "error"        #: request could not be evaluated at all
+STATUSES = (STATUS_OK, STATUS_DEGRADED, STATUS_TIMEOUT, STATUS_ERROR)
+
+
+@dataclass(frozen=True)
+class EstimateRequest:
+    """One kernel-estimate query against the serving layer."""
+
+    op: str                        #: "spmm" | "sddmm"
+    kernel: str                    #: kernel registry name (e.g. "hp-spmm")
+    graph: str                     #: graph-registry name (Table II)
+    k: int = 64                    #: feature width
+    device: str = "v100"           #: device short name (see gpusim.DEVICES)
+    deadline_s: float | None = None  #: relative deadline from submission
+    allow_degraded: bool = True    #: quick-model fallback permitted?
+    max_edges: int | None = None   #: registry edge cap (None = env default)
+
+    def __post_init__(self) -> None:
+        if self.op not in VALID_OPS:
+            raise ValueError(
+                f"op must be one of {VALID_OPS}, got {self.op!r}"
+            )
+        if self.k <= 0:
+            raise ValueError(f"k must be positive, got {self.k}")
+        if self.deadline_s is not None and self.deadline_s < 0:
+            raise ValueError(
+                f"deadline_s must be non-negative, got {self.deadline_s}"
+            )
+
+    @property
+    def batch_key(self) -> tuple:
+        """Structural micro-batching key: same key -> same loaded matrix."""
+        return (self.graph, self.max_edges)
+
+    @property
+    def signature(self) -> tuple:
+        """Full estimate identity: equal signatures share one evaluation."""
+        return (
+            self.op, self.kernel, self.graph, self.k,
+            self.device, self.max_edges,
+        )
+
+
+@dataclass(frozen=True)
+class EstimateResponse:
+    """The serving layer's answer to one :class:`EstimateRequest`."""
+
+    request: EstimateRequest
+    status: str                    #: one of :data:`STATUSES`
+    time_s: float | None = None    #: simulated kernel seconds (ok/degraded)
+    preprocessing_s: float = 0.0   #: modeled host preprocessing seconds
+    bound: str | None = None       #: dominant bound ("dram", "balance", ...)
+    error: str | None = None       #: failure detail for STATUS_ERROR
+    latency_s: float = 0.0         #: measured submit -> response latency
+    queue_wait_s: float = 0.0      #: measured time spent queued
+    batch_id: int = -1             #: micro-batch that served this request
+    batch_size: int = 0            #: total requests in that batch
+
+    @property
+    def answered(self) -> bool:
+        """True when a usable estimate came back (full or degraded)."""
+        return self.status in (STATUS_OK, STATUS_DEGRADED)
+
+    @property
+    def degraded(self) -> bool:
+        return self.status == STATUS_DEGRADED
+
+    @property
+    def total_time_s(self) -> float | None:
+        """Kernel + preprocessing, mirroring the kernel-API results."""
+        if self.time_s is None:
+            return None
+        return self.time_s + self.preprocessing_s

@@ -1,0 +1,442 @@
+"""The estimation server: queue -> micro-batcher -> estimator.
+
+:class:`EstimationServer` accepts :class:`~repro.serve.request
+.EstimateRequest` submissions on a thread-safe queue and answers them
+from a single batching worker thread:
+
+1. **Collect.**  The worker drains up to ``max_batch`` requests, waiting
+   at most ``batch_window_s`` after the first one so lone requests are
+   not delayed indefinitely.  Requests submitted *before* :meth:`start`
+   simply queue up — the replay workloads use this to form deterministic
+   full batches.
+2. **Group.**  The batch is grouped by :attr:`EstimateRequest.batch_key`
+   (graph name + edge cap): each group loads its matrix once, and every
+   request in it shares the same structural fingerprint, so their
+   estimate-cache keys differ only in (kernel, K, device).  Requests
+   beyond the first in a group count as *coalesced*.
+3. **Triage.**  Each request's remaining deadline budget is compared
+   against an EWMA of recent full-path cost times ``deadline_margin``.
+   A request that cannot make it degrades to the quick roofline model
+   (status ``degraded``) when permitted, else answers ``timeout``.
+4. **Evaluate.**  Full-path requests are deduplicated by
+   :attr:`EstimateRequest.signature` (duplicates count as *deduped*) and
+   the unique signatures fan out over :func:`repro.perf.parallel_map` —
+   ``REPRO_JOBS`` workers, same path as the bench sweeps.  Degraded
+   requests are answered inline by :func:`repro.serve.estimator
+   .quick_estimate`.
+
+Observability: every response's latency lands in the
+``serve.request_latency`` histogram (and batch queue-waits in
+``serve.queue_wait``), ``serve.*`` counters in :data:`repro.obs.METRICS`
+track requests/batches/coalescing/degradation, and with ``REPRO_TRACE``
+on each batch is a ``serve.batch`` host span with one ``serve.request``
+span per answered request spanning submit -> response.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+from ..gpusim import get_device
+from ..graphs import load_graph
+from ..obs import METRICS, get_tracer, observe_latency
+from ..obs.tracer import HOST_TRACK
+from ..perf import parallel_map
+from .estimator import _estimate_signature, quick_estimate
+from .request import (
+    STATUS_DEGRADED,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    EstimateRequest,
+    EstimateResponse,
+)
+
+
+class _Pending:
+    """One in-flight request: the ticket :meth:`EstimationServer.submit`
+    returns, resolved by the batching worker."""
+
+    __slots__ = (
+        "request", "submit_mono", "collect_mono", "trace_ts_us",
+        "event", "response",
+    )
+
+    def __init__(
+        self, request: EstimateRequest, submit_mono: float, trace_ts_us: float
+    ) -> None:
+        self.request = request
+        self.submit_mono = submit_mono
+        self.collect_mono = submit_mono  # updated when the batch forms
+        self.trace_ts_us = trace_ts_us
+        self.event = threading.Event()
+        self.response: EstimateResponse | None = None
+
+    def result(self, timeout: float | None = None) -> EstimateResponse:
+        """Block until the server answers; raises ``TimeoutError`` if the
+        caller-side wait (not the request's deadline) expires first."""
+        if not self.event.wait(timeout):
+            raise TimeoutError(
+                f"no response within {timeout}s for {self.request}"
+            )
+        assert self.response is not None
+        return self.response
+
+    @property
+    def done(self) -> bool:
+        return self.event.is_set()
+
+
+class EstimationServer:
+    """Micro-batching front end over the kernel cost models.
+
+    Parameters
+    ----------
+    max_batch:
+        Largest micro-batch the worker will assemble.
+    batch_window_s:
+        How long the worker holds an under-full batch open after its
+        first request before processing anyway.
+    deadline_margin:
+        Safety factor on the EWMA full-path cost estimate used for
+        deadline triage; larger values degrade earlier.
+    initial_full_cost_s:
+        Seed for the full-path cost EWMA before any measurement exists.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_batch: int = 16,
+        batch_window_s: float = 0.01,
+        deadline_margin: float = 2.0,
+        initial_full_cost_s: float = 0.05,
+        jobs: int | None = None,
+    ) -> None:
+        if max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        if batch_window_s < 0:
+            raise ValueError("batch_window_s must be non-negative")
+        self.max_batch = max_batch
+        self.batch_window_s = batch_window_s
+        self.deadline_margin = deadline_margin
+        self.jobs = jobs
+        self._queue: deque[_Pending] = deque()
+        self._cond = threading.Condition()
+        self._worker: threading.Thread | None = None
+        self._stopping = False
+        self._ewma_full_s = float(initial_full_cost_s)
+        self._batch_seq = 0
+        self._stats_lock = threading.Lock()
+        self._stats: dict[str, int] = {
+            "requests": 0, "completed": 0,
+            STATUS_OK: 0, STATUS_DEGRADED: 0,
+            STATUS_TIMEOUT: 0, STATUS_ERROR: 0,
+            "batches": 0, "coalesced": 0, "deduped": 0,
+            "queue_depth_max": 0, "batch_size_max": 0,
+        }
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "EstimationServer":
+        """Spawn the batching worker (idempotent)."""
+        if self._worker is None or not self._worker.is_alive():
+            self._stopping = False
+            self._worker = threading.Thread(
+                target=self._run, name="repro-serve", daemon=True
+            )
+            self._worker.start()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the worker; with ``drain`` (default) queued requests are
+        answered first, otherwise they resolve as errors."""
+        with self._cond:
+            self._stopping = True
+            if not drain:
+                while self._queue:
+                    p = self._queue.popleft()
+                    self._resolve(
+                        p, EstimateResponse(
+                            request=p.request, status=STATUS_ERROR,
+                            error="server stopped before processing",
+                        ),
+                    )
+            self._cond.notify_all()
+        if self._worker is not None:
+            self._worker.join()
+            self._worker = None
+
+    def __enter__(self) -> "EstimationServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- submission -----------------------------------------------------
+    def submit(self, request: EstimateRequest) -> _Pending:
+        """Enqueue one request; returns its ticket immediately.
+
+        Legal before :meth:`start` — early submissions batch together
+        once the worker comes up, which replay workloads rely on for
+        deterministic coalescing.
+        """
+        tracer = get_tracer()
+        pending = _Pending(
+            request,
+            submit_mono=time.monotonic(),  # lint: allow(wallclock) serving latency is a measured surface
+            trace_ts_us=tracer.now_us() if tracer is not None else 0.0,
+        )
+        with self._cond:
+            if self._stopping:
+                raise RuntimeError("server is stopped")
+            self._queue.append(pending)
+            depth = len(self._queue)
+            self._cond.notify()
+        METRICS.inc("serve.requests")
+        METRICS.record_max("serve.queue_depth_max", depth)
+        with self._stats_lock:
+            self._stats["requests"] += 1
+            self._stats["queue_depth_max"] = max(
+                self._stats["queue_depth_max"], depth
+            )
+        return pending
+
+    def submit_many(self, requests) -> list[_Pending]:
+        return [self.submit(r) for r in requests]
+
+    def estimate(
+        self, request: EstimateRequest, timeout: float | None = None
+    ) -> EstimateResponse:
+        """Submit and block for the answer (closed-loop clients)."""
+        return self.submit(request).result(timeout)
+
+    # -- worker ---------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            batch = self._collect_batch()
+            if batch is None:
+                return
+            self._process_batch(batch)
+
+    def _collect_batch(self) -> list[_Pending] | None:
+        """Assemble the next micro-batch (None = stopped and drained)."""
+        with self._cond:
+            while not self._queue:
+                if self._stopping:
+                    return None
+                self._cond.wait()
+            batch = [self._queue.popleft()]
+            deadline = time.monotonic() + self.batch_window_s  # lint: allow(wallclock) batching window is a serving-policy timer
+            while len(batch) < self.max_batch:
+                if self._queue:
+                    batch.append(self._queue.popleft())
+                    continue
+                if self._stopping:
+                    break
+                remaining = deadline - time.monotonic()  # lint: allow(wallclock) batching window is a serving-policy timer
+                if remaining <= 0 or not self._cond.wait(remaining):
+                    break
+        collected = time.monotonic()  # lint: allow(wallclock) queue-wait measurement point
+        for p in batch:
+            p.collect_mono = collected
+        return batch
+
+    def _process_batch(self, batch: list[_Pending]) -> None:
+        self._batch_seq += 1
+        batch_id = self._batch_seq
+        tracer = get_tracer()
+        batch_start_us = tracer.now_us() if tracer is not None else 0.0
+        METRICS.inc("serve.batches")
+        METRICS.inc("serve.batched_requests", len(batch))
+        METRICS.record_max("serve.batch_size_max", len(batch))
+        with self._stats_lock:
+            self._stats["batches"] += 1
+            self._stats["batch_size_max"] = max(
+                self._stats["batch_size_max"], len(batch)
+            )
+
+        groups: dict[tuple, list[_Pending]] = {}
+        for p in batch:
+            groups.setdefault(p.request.batch_key, []).append(p)
+        for key in groups:
+            self._process_group(key, groups[key], batch_id, len(batch))
+
+        if tracer is not None:
+            tracer.emit(
+                "serve.batch",
+                ts_us=batch_start_us,
+                dur_us=tracer.now_us() - batch_start_us,
+                cat="serve",
+                track=HOST_TRACK,
+                batch=batch_id,
+                size=len(batch),
+                groups=len(groups),
+            )
+
+    def _process_group(
+        self, key: tuple, group: list[_Pending], batch_id: int, batch_size: int
+    ) -> None:
+        graph_name, max_edges = key
+        coalesced = len(group) - 1
+        if coalesced:
+            METRICS.inc("serve.coalesced", coalesced)
+            with self._stats_lock:
+                self._stats["coalesced"] += coalesced
+        try:
+            S = load_graph(graph_name, max_edges=max_edges).matrix
+        except Exception as exc:  # unknown graph: fail the whole group
+            for p in group:
+                self._resolve(
+                    p, self._response(
+                        p, STATUS_ERROR, batch_id, batch_size,
+                        error=f"{type(exc).__name__}: {exc}",
+                    ),
+                )
+            return
+
+        full: dict[tuple, list[_Pending]] = {}  # signature -> requests
+        quick: list[_Pending] = []
+        for p in group:
+            now = time.monotonic()  # lint: allow(wallclock) deadline triage needs elapsed queue time
+            req = p.request
+            if req.deadline_s is not None:
+                remaining = req.deadline_s - (now - p.submit_mono)
+                needed = self._ewma_full_s * self.deadline_margin
+                if remaining < needed:
+                    if req.allow_degraded:
+                        quick.append(p)
+                    else:
+                        METRICS.inc("serve.timeouts")
+                        self._resolve(
+                            p, self._response(
+                                p, STATUS_TIMEOUT, batch_id, batch_size,
+                                error=(
+                                    "deadline budget "
+                                    f"{max(0.0, remaining):.4f}s < required "
+                                    f"{needed:.4f}s"
+                                ),
+                            ),
+                        )
+                    continue
+            full.setdefault(req.signature, []).append(p)
+
+        for p in quick:
+            req = p.request
+            try:
+                time_s, bound = quick_estimate(
+                    req.op, S, req.k, get_device(req.device)
+                )
+                METRICS.inc("serve.quick_estimates")
+                METRICS.inc("serve.degraded")
+                self._resolve(
+                    p, self._response(
+                        p, STATUS_DEGRADED, batch_id, batch_size,
+                        time_s=time_s, bound=bound,
+                    ),
+                )
+            except Exception as exc:
+                self._resolve(
+                    p, self._response(
+                        p, STATUS_ERROR, batch_id, batch_size,
+                        error=f"{type(exc).__name__}: {exc}",
+                    ),
+                )
+
+        if not full:
+            return
+        signatures = list(full)
+        deduped = sum(len(ps) - 1 for ps in full.values())
+        if deduped:
+            METRICS.inc("serve.deduped", deduped)
+            with self._stats_lock:
+                self._stats["deduped"] += deduped
+        items = [
+            (sig[0], sig[1], S, sig[3], sig[4]) for sig in signatures
+        ]
+        eval_start = time.monotonic()  # lint: allow(wallclock) full-path cost feeds the deadline-triage EWMA
+        outcomes = parallel_map(_estimate_signature, items, jobs=self.jobs)
+        per_sig_s = (time.monotonic() - eval_start) / len(items)  # lint: allow(wallclock) full-path cost feeds the deadline-triage EWMA
+        # EWMA (alpha=0.3) of measured per-signature full-path cost.
+        self._ewma_full_s += 0.3 * (per_sig_s - self._ewma_full_s)
+        METRICS.inc("serve.full_estimates", len(items))
+
+        for sig, (kind, payload) in zip(signatures, outcomes):
+            for p in full[sig]:
+                if kind == "ok":
+                    time_s, pre_s, bound = payload
+                    resp = self._response(
+                        p, STATUS_OK, batch_id, batch_size,
+                        time_s=time_s, preprocessing_s=pre_s, bound=bound,
+                    )
+                else:
+                    resp = self._response(
+                        p, STATUS_ERROR, batch_id, batch_size,
+                        error=payload[0],
+                    )
+                self._resolve(p, resp)
+
+    # -- resolution -----------------------------------------------------
+    def _response(
+        self,
+        p: _Pending,
+        status: str,
+        batch_id: int,
+        batch_size: int,
+        *,
+        time_s: float | None = None,
+        preprocessing_s: float = 0.0,
+        bound: str | None = None,
+        error: str | None = None,
+    ) -> EstimateResponse:
+        now = time.monotonic()  # lint: allow(wallclock) serving latency is a measured surface
+        return EstimateResponse(
+            request=p.request,
+            status=status,
+            time_s=time_s,
+            preprocessing_s=preprocessing_s,
+            bound=bound,
+            error=error,
+            latency_s=now - p.submit_mono,
+            queue_wait_s=p.collect_mono - p.submit_mono,
+            batch_id=batch_id,
+            batch_size=batch_size,
+        )
+
+    def _resolve(self, p: _Pending, response: EstimateResponse) -> None:
+        p.response = response
+        p.event.set()
+        observe_latency("serve.request_latency", response.latency_s)
+        observe_latency("serve.queue_wait", response.queue_wait_s)
+        METRICS.inc("serve.completed")
+        if response.status == STATUS_ERROR:
+            METRICS.inc("serve.errors")
+        with self._stats_lock:
+            self._stats["completed"] += 1
+            self._stats[response.status] += 1
+        tracer = get_tracer()
+        if tracer is not None:
+            tracer.emit(
+                "serve.request",
+                ts_us=p.trace_ts_us,
+                dur_us=response.latency_s * 1e6,
+                cat="serve",
+                track=HOST_TRACK,
+                status=response.status,
+                graph=p.request.graph,
+                kernel=p.request.kernel,
+                op=p.request.op,
+                k=p.request.k,
+            )
+
+    # -- introspection --------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    def stats(self) -> dict:
+        """This server instance's run-scoped counters (plain dict)."""
+        with self._stats_lock:
+            return dict(self._stats)

@@ -1,0 +1,220 @@
+"""Synthetic replay workloads for exercising the estimation server.
+
+A :class:`WorkloadSpec` describes a reproducible request stream over the
+graph registry — which graphs, kernels, feature widths and devices to
+draw from, how many requests, and how they arrive:
+
+* ``replay`` — every request is submitted *before* the server starts,
+  so the batcher drains them in deterministic full micro-batches.  This
+  is the mode CI smokes: coalescing and dedup counters are exact
+  functions of the spec.
+* ``closed`` — ``clients`` threads each submit their share of the
+  stream one request at a time, waiting for each answer before sending
+  the next (closed-loop arrival; concurrency = client count).
+* ``open`` — one thread submits the whole stream with seeded
+  exponential inter-arrival gaps at ``arrival_rate_hz`` (open-loop
+  arrival; queue depth floats with service time).
+
+Every ``forced_deadline_every``-th request carries ``deadline_s=0.0``:
+its budget is already exhausted when triaged, so it deterministically
+exercises the degraded quick-model path regardless of machine speed.
+
+:func:`run_workload` executes a spec against a fresh
+:class:`~repro.serve.server.EstimationServer` and returns the report
+dict (schema ``repro.serve.report/v1``) the serve CLI writes to
+``results/serve_<name>.json``.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import asdict, dataclass
+
+from ..obs import get_histogram
+from .request import EstimateRequest, EstimateResponse, STATUSES
+from .server import EstimationServer
+
+SCHEMA = "repro.serve.report/v1"
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One reproducible request stream against the estimation server."""
+
+    name: str
+    mode: str = "replay"            #: "replay" | "closed" | "open"
+    graphs: tuple[str, ...] = ("aifb", "corafull")
+    spmm_kernels: tuple[str, ...] = ("hp-spmm", "ge-spmm")
+    sddmm_kernels: tuple[str, ...] = ("hp-sddmm",)
+    ks: tuple[int, ...] = (32, 64)
+    devices: tuple[str, ...] = ("v100",)
+    num_requests: int = 48
+    seed: int = 7
+    max_edges: int = 20_000         #: registry edge cap for every request
+    forced_deadline_every: int = 6  #: every Nth request gets deadline 0
+    deadline_s: float | None = None  #: deadline for the other requests
+    clients: int = 4                #: closed-loop client threads
+    arrival_rate_hz: float = 200.0  #: open-loop mean arrival rate
+    max_batch: int = 16
+    batch_window_s: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("replay", "closed", "open"):
+            raise ValueError(f"unknown workload mode {self.mode!r}")
+        if self.num_requests <= 0:
+            raise ValueError("num_requests must be positive")
+
+
+#: Named presets the serve CLI exposes (``--workload <name>``).
+WORKLOADS: dict[str, WorkloadSpec] = {
+    "smoke": WorkloadSpec(name="smoke"),
+    "closed-loop": WorkloadSpec(
+        name="closed-loop", mode="closed", num_requests=64, clients=4,
+        batch_window_s=0.005,
+    ),
+    "open-loop": WorkloadSpec(
+        name="open-loop", mode="open", num_requests=64,
+        arrival_rate_hz=400.0, deadline_s=0.5,
+    ),
+    "mixed-graphs": WorkloadSpec(
+        name="mixed-graphs",
+        graphs=("aifb", "corafull", "coauthor-cs", "amazon-photo"),
+        num_requests=96, forced_deadline_every=8,
+    ),
+}
+
+
+def generate_requests(spec: WorkloadSpec) -> list[EstimateRequest]:
+    """The spec's request stream — a pure function of the spec."""
+    rng = random.Random(spec.seed)
+    requests: list[EstimateRequest] = []
+    for i in range(spec.num_requests):
+        op = rng.choice(("spmm", "sddmm"))
+        kernels = spec.spmm_kernels if op == "spmm" else spec.sddmm_kernels
+        forced = (
+            spec.forced_deadline_every > 0
+            and (i + 1) % spec.forced_deadline_every == 0
+        )
+        requests.append(
+            EstimateRequest(
+                op=op,
+                kernel=rng.choice(kernels),
+                graph=rng.choice(spec.graphs),
+                k=rng.choice(spec.ks),
+                device=rng.choice(spec.devices),
+                deadline_s=0.0 if forced else spec.deadline_s,
+                max_edges=spec.max_edges,
+            )
+        )
+    return requests
+
+
+def _drive_replay(server, requests) -> list:
+    tickets = server.submit_many(requests)  # queued before the worker runs
+    server.start()
+    return [t.result() for t in tickets]
+
+
+def _drive_closed(server, requests, clients: int) -> list:
+    server.start()
+    shares = [requests[c::clients] for c in range(clients)]
+    results: list[list] = [[] for _ in range(clients)]
+
+    def client(c: int) -> None:
+        for req in shares[c]:
+            results[c].append(server.estimate(req))
+
+    threads = [
+        threading.Thread(target=client, args=(c,), name=f"client-{c}")
+        for c in range(clients)
+        if shares[c]
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    # Reassemble stream order (client c owned indices c, c+clients, ...).
+    out: list = [None] * len(requests)
+    for c, share in enumerate(results):
+        out[c::clients] = share
+    return out
+
+
+def _drive_open(server, requests, rate_hz: float, seed: int) -> list:
+    server.start()
+    rng = random.Random(seed + 1)
+    tickets = []
+    for req in requests:
+        tickets.append(server.submit(req))
+        time.sleep(rng.expovariate(rate_hz))  # lint: allow(wallclock) open-loop arrival pacing
+    return [t.result() for t in tickets]
+
+
+def run_workload(spec: WorkloadSpec) -> dict:
+    """Run one workload on a fresh server; returns the report dict."""
+    requests = generate_requests(spec)
+    server = EstimationServer(
+        max_batch=spec.max_batch, batch_window_s=spec.batch_window_s
+    )
+    hist = get_histogram("serve.request_latency")
+    count_before = hist.count
+    try:
+        if spec.mode == "replay":
+            responses = _drive_replay(server, requests)
+        elif spec.mode == "closed":
+            responses = _drive_closed(server, requests, spec.clients)
+        else:
+            responses = _drive_open(
+                server, requests, spec.arrival_rate_hz, spec.seed
+            )
+    finally:
+        server.stop()
+    return build_report(spec, server, responses, count_before)
+
+
+def build_report(
+    spec: WorkloadSpec,
+    server: EstimationServer,
+    responses: list[EstimateResponse],
+    hist_count_before: int = 0,
+) -> dict:
+    """Assemble the ``repro.serve.report/v1`` payload."""
+    stats = server.stats()
+    hist = get_histogram("serve.request_latency")
+    latency = hist.summary()
+    latency["count"] -= hist_count_before  # this run's share
+    by_status = {s: stats.get(s, 0) for s in STATUSES}
+    answers = [
+        {
+            "op": r.request.op,
+            "kernel": r.request.kernel,
+            "graph": r.request.graph,
+            "k": r.request.k,
+            "device": r.request.device,
+            "status": r.status,
+            "time_s": r.time_s,
+            "preprocessing_s": r.preprocessing_s,
+            "bound": r.bound,
+            "batch_id": r.batch_id,
+            "batch_size": r.batch_size,
+            "error": r.error,
+        }
+        for r in responses
+    ]
+    return {
+        "schema": SCHEMA,
+        "workload": asdict(spec),
+        "summary": {
+            "requests": len(responses),
+            "by_status": by_status,
+            "batches": stats["batches"],
+            "coalesced": stats["coalesced"],
+            "deduped": stats["deduped"],
+            "queue_depth_max": stats["queue_depth_max"],
+            "batch_size_max": stats["batch_size_max"],
+        },
+        "latency_s": latency,
+        "responses": answers,
+    }

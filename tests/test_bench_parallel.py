@@ -189,3 +189,45 @@ def test_bench_wallclock_writes_report(tmp_path, monkeypatch):
     assert report["pipelines"]["fig12"]["seconds"] > 0
     assert report["meta"]["cpus"] == os.cpu_count()
     assert set(report["estimate_cache"]) >= {"hits", "misses", "hit_rate"}
+
+
+# ----------------------------------------------------------------------
+# Worker-span splicing
+# ----------------------------------------------------------------------
+
+def _span_worker(x):
+    from repro.obs import trace_span
+
+    with trace_span("worker-span", cat="test", item=x):
+        return x + 1
+
+
+def test_parallel_map_splices_worker_spans_onto_parent_trace():
+    from repro.obs import METRICS, Tracer, set_tracer
+
+    pool_runs_before = METRICS.get("parallel.pool_runs")
+    tracer = Tracer()
+    set_tracer(tracer)
+    try:
+        out = parallel_map(_span_worker, [1, 2, 3, 4], jobs=2)
+    finally:
+        set_tracer(None)
+    assert out == [2, 3, 4, 5]
+    worker_spans = [s for s in tracer.spans if s.name == "worker-span"]
+    assert len(worker_spans) == 4  # no span died with its worker
+    assert sorted(s.args["item"] for s in worker_spans) == [1, 2, 3, 4]
+    assert any(s.name == "parallel_map" for s in tracer.spans)
+    if METRICS.get("parallel.pool_runs") > pool_runs_before:
+        # The pool actually ran: spans crossed the process boundary and
+        # carry their worker's pid.
+        assert all(s.args.get("pool_worker") for s in worker_spans)
+        parent = [s for s in tracer.spans if s.name == "parallel_map"][0]
+        for s in worker_spans:
+            assert s.ts_us >= parent.ts_us  # shared t0: same timeline
+
+
+def test_parallel_map_untraced_pool_path_unchanged():
+    from repro.obs import get_tracer
+
+    assert get_tracer() is None
+    assert parallel_map(_span_worker, [5, 6], jobs=2) == [6, 7]

@@ -155,3 +155,67 @@ def test_launch_config_validation():
     with pytest.raises(ValueError):
         LaunchConfig(warps_per_block=4, registers_per_thread=-1)
     assert LaunchConfig(warps_per_block=4).threads_per_block == 128
+
+
+# ----------------------------------------------------------------------
+# Per-wave trace detail
+# ----------------------------------------------------------------------
+
+def _traced_launch(num_warps):
+    from repro.obs import Tracer, set_tracer
+
+    tracer = Tracer()
+    set_tracer(tracer)
+    try:
+        stats = simulate_launch(TESLA_V100, uniform_work(num_warps), CFG)
+    finally:
+        set_tracer(None)
+    return stats, tracer.spans
+
+
+def test_traced_launch_emits_one_span_per_wave():
+    stats, spans = _traced_launch(80_000)
+    launches = [s for s in spans if s.name.startswith("launch[")]
+    waves = [s for s in spans if s.name.startswith("wave[")]
+    assert len(launches) == 1
+    assert launches[0].name == f"launch[{stats.bound}]"
+    assert launches[0].args["waves"] == stats.num_waves
+    assert len(waves) == stats.num_waves
+    # Wave spans tile the launch span exactly, back to back.
+    assert sum(w.dur_us for w in waves) == pytest.approx(launches[0].dur_us)
+    cursor = launches[0].ts_us
+    for w in waves:
+        assert w.ts_us == pytest.approx(cursor)
+        cursor += w.dur_us
+    # Full waves run at occupancy 1; a partial tail reports less.
+    assert waves[0].args["occupancy"] == 1.0
+    assert waves[-1].args["occupancy"] == pytest.approx(
+        stats.tail_utilization, abs=1e-4
+    )
+
+
+def test_traced_launches_advance_the_sim_cursor():
+    _, first = _traced_launch(20_000)
+    _, second = _traced_launch(20_000)
+    end_first = first[0].ts_us + first[0].dur_us
+    assert second[0].ts_us >= end_first
+
+
+def test_wave_spans_aggregate_past_the_cap():
+    from repro.gpusim.launch import _MAX_WAVE_SPANS
+
+    # 70 waves of 640 blocks (8 warps each) exceeds the 64-span cap.
+    stats, spans = _traced_launch(70 * 640 * 8)
+    assert stats.num_waves == 70
+    waves = [s for s in spans if s.name.startswith("wave[")]
+    assert len(waves) == _MAX_WAVE_SPANS
+    assert waves[-1].name == f"wave[{_MAX_WAVE_SPANS}..70/70]"
+    launch = [s for s in spans if s.name.startswith("launch[")][0]
+    assert sum(w.dur_us for w in waves) == pytest.approx(launch.dur_us)
+
+
+def test_untraced_launch_emits_nothing():
+    from repro.obs import get_tracer
+
+    assert get_tracer() is None
+    simulate_launch(TESLA_V100, uniform_work(10_000), CFG)  # no error

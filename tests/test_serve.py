@@ -1,0 +1,233 @@
+"""The estimation server: protocol, batching, triage and fallback."""
+
+import pytest
+
+from repro.gpusim import get_device
+from repro.graphs import load_graph
+from repro.kernels import make_spmm
+from repro.obs import METRICS, get_histogram, reset_histograms
+from repro.perf import get_estimate_cache
+from repro.serve import (
+    STATUS_DEGRADED,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    EstimateRequest,
+    EstimateResponse,
+    EstimationServer,
+    quick_estimate,
+)
+
+pytestmark = pytest.mark.serve
+
+#: Small enough that aifb/corafull generate in well under a second and
+#: every full-path estimate is milliseconds.
+MAX_EDGES = 20_000
+
+#: Caller-side wait ceiling so a wedged worker fails the test instead of
+#: hanging the suite.
+WAIT_S = 60.0
+
+
+@pytest.fixture(autouse=True)
+def fresh_serving_state(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    METRICS.reset()
+    reset_histograms()
+    get_estimate_cache().clear()
+    yield
+    METRICS.reset()
+    reset_histograms()
+
+
+def req(**kw):
+    base = dict(
+        op="spmm", kernel="hp-spmm", graph="aifb", k=32,
+        device="v100", max_edges=MAX_EDGES,
+    )
+    base.update(kw)
+    return EstimateRequest(**base)
+
+
+# ----------------------------------------------------------------------
+# Protocol records
+# ----------------------------------------------------------------------
+
+def test_request_validation():
+    with pytest.raises(ValueError):
+        req(op="gemm")
+    with pytest.raises(ValueError):
+        req(k=0)
+    with pytest.raises(ValueError):
+        req(deadline_s=-1.0)
+
+
+def test_batch_key_groups_structure_signature_identifies_estimate():
+    a, b = req(k=32), req(k=64)
+    assert a.batch_key == b.batch_key  # same graph -> same micro-batch
+    assert a.signature != b.signature  # different K -> distinct estimate
+    assert req().signature == req().signature
+
+
+def test_response_properties():
+    ok = EstimateResponse(
+        request=req(), status=STATUS_OK, time_s=1e-3, preprocessing_s=2e-3
+    )
+    assert ok.answered and not ok.degraded
+    assert ok.total_time_s == pytest.approx(3e-3)
+    timeout = EstimateResponse(request=req(), status=STATUS_TIMEOUT)
+    assert not timeout.answered
+    assert timeout.total_time_s is None
+
+
+# ----------------------------------------------------------------------
+# Full path
+# ----------------------------------------------------------------------
+
+def test_full_path_matches_direct_estimate():
+    with EstimationServer() as server:
+        resp = server.estimate(req(), timeout=WAIT_S)
+    assert resp.status == STATUS_OK
+    S = load_graph("aifb", max_edges=MAX_EDGES).matrix
+    direct = make_spmm("hp-spmm").estimate(S, 32, device=get_device("v100"))
+    assert resp.time_s == direct.stats.time_s
+    assert resp.bound == direct.stats.bound
+    assert resp.latency_s > 0
+
+
+def test_replay_submissions_coalesce_into_one_batch():
+    server = EstimationServer(max_batch=16)
+    tickets = server.submit_many(
+        [req(kernel=kern, k=k) for kern in ("hp-spmm", "ge-spmm")
+         for k in (32, 64) for _ in range(2)]
+    )
+    server.start()
+    responses = [t.result(WAIT_S) for t in tickets]
+    server.stop()
+    assert all(r.status == STATUS_OK for r in responses)
+    assert len({r.batch_id for r in responses}) == 1
+    assert all(r.batch_size == 8 for r in responses)
+    stats = server.stats()
+    assert stats["coalesced"] == 7    # one group of 8 shares one matrix
+    assert stats["deduped"] == 4      # 4 unique signatures, each twice
+    assert stats["batch_size_max"] == 8
+    assert METRICS.get("serve.coalesced") == 7
+
+
+def test_distinct_graphs_split_into_groups_within_a_batch():
+    server = EstimationServer(max_batch=16)
+    tickets = server.submit_many(
+        [req(graph="aifb"), req(graph="corafull"), req(graph="aifb")]
+    )
+    server.start()
+    responses = [t.result(WAIT_S) for t in tickets]
+    server.stop()
+    assert [r.status for r in responses] == [STATUS_OK] * 3
+    # One batch, two structural groups: only the repeated graph coalesces.
+    assert len({r.batch_id for r in responses}) == 1
+    assert server.stats()["coalesced"] == 1
+
+
+# ----------------------------------------------------------------------
+# Deadline triage and degradation
+# ----------------------------------------------------------------------
+
+def test_forced_deadline_degrades_to_quick_model():
+    with EstimationServer() as server:
+        resp = server.estimate(req(deadline_s=0.0), timeout=WAIT_S)
+    assert resp.status == STATUS_DEGRADED
+    assert resp.answered and resp.degraded
+    S = load_graph("aifb", max_edges=MAX_EDGES).matrix
+    time_s, bound = quick_estimate("spmm", S, 32, get_device("v100"))
+    assert resp.time_s == pytest.approx(time_s)
+    assert resp.bound == bound
+    assert METRICS.get("serve.degraded") == 1
+    assert METRICS.get("serve.quick_estimates") == 1
+
+
+def test_forced_deadline_without_degradation_times_out():
+    with EstimationServer() as server:
+        resp = server.estimate(
+            req(deadline_s=0.0, allow_degraded=False), timeout=WAIT_S
+        )
+    assert resp.status == STATUS_TIMEOUT
+    assert not resp.answered
+    assert resp.time_s is None
+    assert "deadline budget" in resp.error
+    assert METRICS.get("serve.timeouts") == 1
+
+
+def test_generous_deadline_stays_on_full_path():
+    with EstimationServer() as server:
+        resp = server.estimate(req(deadline_s=600.0), timeout=WAIT_S)
+    assert resp.status == STATUS_OK
+
+
+# ----------------------------------------------------------------------
+# Errors
+# ----------------------------------------------------------------------
+
+def test_unknown_graph_fails_only_its_group():
+    server = EstimationServer(max_batch=4)
+    bad = EstimateRequest(
+        op="spmm", kernel="hp-spmm", graph="no-such-graph",
+        max_edges=MAX_EDGES,
+    )
+    tickets = server.submit_many([req(), bad])
+    server.start()
+    good_resp, bad_resp = (t.result(WAIT_S) for t in tickets)
+    server.stop()
+    assert good_resp.status == STATUS_OK
+    assert bad_resp.status == STATUS_ERROR
+    assert "no-such-graph" in bad_resp.error
+    assert METRICS.get("serve.errors") == 1
+
+
+def test_unknown_kernel_fails_only_its_signature():
+    server = EstimationServer(max_batch=4)
+    tickets = server.submit_many([req(), req(kernel="no-such-kernel")])
+    server.start()
+    good_resp, bad_resp = (t.result(WAIT_S) for t in tickets)
+    server.stop()
+    assert good_resp.status == STATUS_OK
+    assert bad_resp.status == STATUS_ERROR
+    assert "KeyError" in bad_resp.error
+
+
+def test_submit_after_stop_raises():
+    server = EstimationServer()
+    server.start()
+    server.stop()
+    with pytest.raises(RuntimeError):
+        server.submit(req())
+
+
+# ----------------------------------------------------------------------
+# Observability wiring
+# ----------------------------------------------------------------------
+
+def test_latencies_land_in_the_serving_histograms():
+    with EstimationServer() as server:
+        server.estimate(req(), timeout=WAIT_S)
+        server.estimate(req(deadline_s=0.0), timeout=WAIT_S)
+    assert get_histogram("serve.request_latency").count == 2
+    assert get_histogram("serve.queue_wait").count == 2
+    assert get_histogram("serve.request_latency").percentile(99) > 0
+    assert METRICS.get("serve.requests") == 2
+    assert METRICS.get("serve.completed") == 2
+    assert METRICS.get("serve.batches") == 2
+
+
+# ----------------------------------------------------------------------
+# Quick model sanity
+# ----------------------------------------------------------------------
+
+def test_quick_estimate_is_monotone_in_k_and_bounded_below():
+    S = load_graph("aifb", max_edges=MAX_EDGES).matrix
+    device = get_device("v100")
+    t32, bound32 = quick_estimate("spmm", S, 32, device)
+    t256, _ = quick_estimate("spmm", S, 256, device)
+    assert bound32 in ("dram", "fma")
+    assert t256 > t32 > device.kernel_launch_overhead_s
+    t_sddmm, _ = quick_estimate("sddmm", S, 32, device)
+    assert t_sddmm > device.kernel_launch_overhead_s
