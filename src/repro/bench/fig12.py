@@ -10,9 +10,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..engine import EstimateRequest, default_engine
 from ..gpusim import DeviceSpec, TESLA_V100
 from ..graphs import DegreeStats, pearson_r, variance_graph, variance_suite_specs
-from ..kernels import make_spmm
 from ..perf import parallel_map
 from .tables import render_table
 
@@ -51,8 +51,17 @@ def _fig12_one_graph(
     spec, k, device = item
     graph = variance_graph(spec)
     st = DegreeStats.of(graph)
-    t_hp = make_spmm("hp-spmm").estimate(graph, k, device).stats.time_s
-    t_ge = make_spmm("ge-spmm").estimate(graph, k, device).stats.time_s
+    # Inline engine inside the worker: the fan-out is already per-graph
+    # here, so each worker evaluates its two kernels serially.
+    eng = default_engine()
+    t_hp = eng.estimate(
+        EstimateRequest(op="spmm", kernel="hp-spmm", k=k, device=device),
+        matrix=graph,
+    ).time_s
+    t_ge = eng.estimate(
+        EstimateRequest(op="spmm", kernel="ge-spmm", k=k, device=device),
+        matrix=graph,
+    ).time_s
     return st.std, st.mean, t_ge / t_hp
 
 

@@ -10,9 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..engine import EstimateRequest, default_engine
 from ..gpusim import DeviceSpec, TESLA_V100
-from ..graphs import load_graph
-from ..kernels import make_spmm
 from .tables import render_table
 
 DEFAULT_KS: tuple[int, ...] = (16, 32, 64, 128, 256, 512)
@@ -63,11 +62,18 @@ def run_fig13(
     max_edges: int | None = None,
 ) -> Fig13Result:
     """Run the K-sensitivity experiment."""
-    S = load_graph(graph, max_edges=max_edges).matrix
+    # One engine batch, K-outer / kernels-inner: every request shares
+    # the graph, so the plan stage loads it once for the whole series.
+    requests = [
+        EstimateRequest(
+            op="spmm", kernel=name, graph=graph, k=k,
+            device=device, max_edges=max_edges,
+        )
+        for k in ks
+        for name in kernels
+    ]
+    batch = default_engine().estimate_batch(requests)
     gflops: dict[str, list[float]] = {name: [] for name in kernels}
-    for k in ks:
-        flops = 2.0 * S.nnz * k
-        for name in kernels:
-            stats = make_spmm(name).estimate(S, k, device).stats
-            gflops[name].append(stats.throughput_gflops(flops))
+    for res in batch:
+        gflops[res.request.kernel].append(res.gflops)
     return Fig13Result(graph=graph, ks=list(ks), gflops=gflops)

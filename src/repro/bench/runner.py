@@ -14,21 +14,19 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..analysis import ERROR, check_plan, plan_for_kernel
+from ..engine import (
+    Engine,
+    EngineConfig,
+    EstimateRequest,
+    # Re-exported: historically defined here; tests and callers import
+    # them from the runner.
+    PlanCheckError,  # noqa: F401
+    PoolExecutor,
+    plan_checking_enabled,  # noqa: F401
+)
 from ..formats import HybridMatrix
 from ..gpusim import DeviceSpec, TESLA_V100
-from ..kernels import make_sddmm, make_spmm
 from ..obs import METRICS, trace_span, write_manifest
-from ..perf import parallel_map
-
-
-class PlanCheckError(RuntimeError):
-    """A sweep point's kernel plan failed the static schedule checker."""
-
-
-def plan_checking_enabled() -> bool:
-    """Sweeps plan-check every point unless ``REPRO_NO_PLAN_CHECK=1``."""
-    return os.environ.get("REPRO_NO_PLAN_CHECK", "").strip() in ("", "0")
 
 #: Paper kernel display names for the standard comparison sets.
 SPMM_BASELINES: tuple[str, ...] = (
@@ -99,59 +97,12 @@ class SweepResult:
         return float(s.mean()), float(100.0 * np.mean(s > 1.0))
 
 
-#: op -> kernel factory, for the unified sweep body.
-_SWEEP_MAKERS = {"spmm": make_spmm, "sddmm": make_sddmm}
-
-
-def _sweep_one_graph(
-    item: tuple[str, str, HybridMatrix, tuple[str, ...], int, DeviceSpec],
-) -> list[KernelRun]:
-    """All kernels on one graph — the unit of work fanned over workers.
-
-    Module-level (picklable) so :func:`repro.perf.parallel_map` can ship
-    it to a process pool; estimates are deterministic, so parallel and
-    serial sweeps return identical runs.
-    """
-    op, gname, S, kernels, k, device = item
-    make = _SWEEP_MAKERS[op]
-    flops = 2.0 * S.nnz * k
-    runs = []
-    checked = 0
-    counts: dict[str, int] = {}
-    do_check = plan_checking_enabled()
-    for kname in kernels:
-        # One span per sweep point (kernel x graph).  With REPRO_JOBS>1
-        # these run in pool workers and stay there; run serially for a
-        # complete single-process trace.
-        with trace_span(
-            f"sweep_point[{op}]", cat="bench",
-            graph=gname, kernel=kname, k=k, device=device.name,
-        ):
-            kernel = make(kname)
-            if do_check:
-                diags = check_plan(plan_for_kernel(kernel, S, k, device))
-                checked += 1
-                for d in diags:
-                    counts[d.severity] = counts.get(d.severity, 0) + 1
-                errors = [d for d in diags if d.severity == ERROR]
-                if errors:
-                    detail = "\n".join(d.render() for d in errors)
-                    raise PlanCheckError(
-                        f"kernel {kname!r} on graph {gname!r} (k={k}, "
-                        f"{device.name}) has an illegal schedule; refusing to "
-                        f"simulate a silently-wrong sweep point:\n{detail}"
-                    )
-            res = kernel.estimate(S, k, device)
-        runs.append(
-            KernelRun(
-                graph=gname,
-                kernel=kname,
-                time_s=res.stats.time_s,
-                preprocessing_s=res.preprocessing_s,
-                gflops=res.stats.throughput_gflops(flops),
-            )
-        )
-    return runs, checked, counts
+#: Sweep pipeline policy: plan-check every point (honoring
+#: ``REPRO_NO_PLAN_CHECK``), one ``sweep_point[<op>]`` span per
+#: kernel x graph evaluation on the bench trace category.
+_SWEEP_CONFIG = EngineConfig(
+    check_plans=None, span="sweep_point[{op}]", cat="bench"
+)
 
 
 def _sweep(
@@ -164,31 +115,38 @@ def _sweep(
     jobs: int | None,
 ) -> SweepResult:
     out = SweepResult(device=device.name, k=k)
-    items = [
-        (op, gname, S, tuple(kernels), k, device) for gname, S in graphs
+    # Graphs-outer / kernels-inner: the engine groups requests per graph
+    # (one fan-out unit each, evaluated in request order), reproducing
+    # the historical sweep order exactly.
+    matrices = {gname: S for gname, S in graphs}
+    requests = [
+        EstimateRequest(op=op, kernel=kname, graph=gname, k=k, device=device)
+        for gname, _ in graphs
+        for kname in kernels
     ]
     METRICS.inc("bench.sweeps")
-    try:
-        with trace_span(
-            f"sweep[{op}]", cat="bench",
-            k=k, device=device.name, graphs=len(items),
-            kernels=len(kernels),
-        ):
-            mapped = parallel_map(_sweep_one_graph, items, jobs=jobs)
-    except PlanCheckError:
-        METRICS.inc("plan_check.failed")
-        raise
-    for runs, checked, counts in mapped:
-        out.runs.extend(runs)
-        out.plans_checked += checked
-        for sev, n in counts.items():
-            out.plan_diagnostics[sev] = out.plan_diagnostics.get(sev, 0) + n
-    # Aggregated parent-side: with REPRO_JOBS>1 the per-point counters
-    # accrue in pool workers and come back through the mapped results.
-    METRICS.inc("plan_check.checked", out.plans_checked)
-    for sev, n in out.plan_diagnostics.items():
-        METRICS.inc(f"plan_check.diag_{sev}", n)
-    if items:
+    engine = Engine(_SWEEP_CONFIG, executor=PoolExecutor(jobs=jobs))
+    # A plan-check failure propagates as PlanCheckError (the engine
+    # counts ``plan_check.failed``) instead of returning partial runs.
+    with trace_span(
+        f"sweep[{op}]", cat="bench",
+        k=k, device=device.name, graphs=len(graphs),
+        kernels=len(kernels),
+    ):
+        batch = engine.estimate_batch(requests, matrices=matrices)
+    for res in batch:
+        out.runs.append(
+            KernelRun(
+                graph=res.request.graph,
+                kernel=res.request.kernel,
+                time_s=res.time_s,
+                preprocessing_s=res.preprocessing_s,
+                gflops=res.gflops,
+            )
+        )
+    out.plans_checked = batch.plans_checked
+    out.plan_diagnostics = dict(batch.plan_diagnostics)
+    if graphs:
         # Surface to stderr so report files stay byte-identical.
         print(
             f"[{op} sweep k={k} {device.name}] {out.plan_check_summary()}",

@@ -10,9 +10,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..engine import EstimateRequest, default_engine
 from ..gpusim import RTX_3090, DeviceSpec
 from ..graphs import load_graph
-from ..kernels import make_spmm
 from ..kernels.baselines import nonempty_tiles
 from .tables import render_table
 
@@ -58,9 +58,20 @@ def run_tcgnn(
     max_edges: int | None = None,
 ) -> TCGNNResult:
     """Run the TC-GNN comparison."""
+    # The matrix is loaded here (not by the engine) because the tile
+    # occupancy below needs it too.
     S = load_graph(graph, max_edges=max_edges).matrix
-    hp = make_spmm("hp-spmm").estimate(S, k, device)
-    tc = make_spmm("tc-gnn").estimate(S, k, device)
+    eng = default_engine()
+    hp = eng.estimate(
+        EstimateRequest(op="spmm", kernel="hp-spmm", graph=graph, k=k,
+                        device=device),
+        matrix=S,
+    )
+    tc = eng.estimate(
+        EstimateRequest(op="spmm", kernel="tc-gnn", graph=graph, k=k,
+                        device=device),
+        matrix=S,
+    )
     tiles = nonempty_tiles(S)
     occupancy = S.nnz / (tiles * 256.0) if tiles else 0.0
     return TCGNNResult(

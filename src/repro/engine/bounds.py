@@ -1,0 +1,43 @@
+"""Canonical vocabulary for the "dominant bound" label on estimates.
+
+Two estimation paths historically labeled their answers independently:
+the full simulator (:func:`repro.gpusim.launch.simulate_launch`) picks
+the slowest of its six modeled bounds (plus the ``launch``-overhead
+degenerate case), while the serve layer's quick roofline model emitted
+its own two-word vocabulary.  Both now draw from this single constant
+set, and the serve report schema asserts membership
+(:meth:`repro.serve.request.EstimateResponse` validates on
+construction), so a new bound label cannot be introduced in one path
+without the other — and downstream report consumers — seeing it here.
+"""
+
+from __future__ import annotations
+
+BOUND_BALANCE = "balance"  #: list-scheduling makespan (warp imbalance)
+BOUND_ISSUE = "issue"      #: instruction-issue throughput
+BOUND_FMA = "fma"          #: FP32 FMA roofline
+BOUND_L2 = "l2"            #: L2 bandwidth
+BOUND_DRAM = "dram"        #: DRAM bandwidth
+BOUND_ATOMIC = "atomic"    #: atomic-unit throughput
+BOUND_LAUNCH = "launch"    #: launch overhead dominates (tiny kernels)
+
+#: Every label an estimate's ``bound`` field may legally carry.
+VALID_BOUNDS: tuple[str, ...] = (
+    BOUND_BALANCE,
+    BOUND_ISSUE,
+    BOUND_FMA,
+    BOUND_L2,
+    BOUND_DRAM,
+    BOUND_ATOMIC,
+    BOUND_LAUNCH,
+)
+
+
+def check_bound(bound: str) -> str:
+    """Validate a bound label; returns it unchanged on success."""
+    if bound not in VALID_BOUNDS:
+        raise ValueError(
+            f"unknown bound label {bound!r}; valid bounds are "
+            f"{list(VALID_BOUNDS)}"
+        )
+    return bound

@@ -1,0 +1,247 @@
+"""Executor strategies for the engine's execute stage.
+
+An executor is anything with ``map(fn, items) -> list`` that preserves
+item order.  The engine's work units are deterministic pure functions of
+their inputs, so the executor choice changes wall-clock time and process
+topology — never results.  Three strategies cover the repo's needs:
+
+* :class:`InlineExecutor` — a plain serial loop in the calling process.
+  No pool counters, no extra processes; the default, and what the
+  fig/table scripts and GNN timing use (their evaluation loops were
+  always inline).
+* :class:`PoolExecutor` — delegates to :func:`repro.perf.parallel_map`,
+  keeping every behavior call sites already rely on: ``REPRO_JOBS``
+  resolution, deterministic ordering, serial fallback on pool
+  infrastructure failures only, ``parallel.*`` counters, and worker
+  tracer spans spliced back onto the parent trace.
+* :class:`ShardedExecutor` — a pool of *persistent* worker server
+  processes (the ROADMAP "multi-worker serving" item).  Where
+  ``PoolExecutor`` builds and tears down a pool per batch, the sharded
+  workers live across batches, so a serving process pays fork cost once
+  and every subsequent batch only pays queue traffic.  Units are
+  sharded round-robin; results return in item order; worker spans are
+  shipped back and spliced like the pool path; a worker exception is
+  re-raised in the parent (lowest item index first, for determinism).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from typing import Callable, Protocol, Sequence
+
+from ..obs import METRICS, trace_span
+from ..obs.tracer import Tracer, get_tracer, set_tracer
+from ..perf.parallel import parallel_map, resolve_jobs
+
+#: Failures creating processes/queues in restricted sandboxes.
+_SPAWN_FAILURES = (OSError, PermissionError, ValueError, ImportError)
+
+_STOP = None  # sentinel shutting down a shard worker
+
+
+class Executor(Protocol):
+    """Order-preserving ``map`` over the engine's work units."""
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        ...
+
+
+class InlineExecutor:
+    """Serial, in-process evaluation — the deterministic baseline."""
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        return [fn(item) for item in items]
+
+
+class PoolExecutor:
+    """Per-batch process-pool fan-out via :func:`repro.perf.parallel_map`.
+
+    ``jobs=None`` defers to ``REPRO_JOBS`` exactly as the bench runner
+    and serve layer always have; all ``parallel.*`` counters and the
+    worker-span splicing behavior are ``parallel_map``'s own.
+    """
+
+    def __init__(self, jobs: int | None = None) -> None:
+        self.jobs = jobs
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        return parallel_map(fn, list(items), jobs=self.jobs)
+
+
+def _shard_worker_loop(inbox, outbox) -> None:
+    """A shard worker server: evaluate inbox items until told to stop.
+
+    Each item runs under a worker-local tracer anchored at the parent
+    tracer's ``t0_ns`` (when the parent traces), and the spans ship back
+    with the result — the same splicing contract as ``parallel_map``
+    pool workers, tagged ``shard_worker`` instead.  Worker exceptions
+    come back as data; the parent re-raises them deterministically.
+    """
+    pid = os.getpid()
+    while True:
+        msg = inbox.get()
+        if msg is _STOP:
+            return
+        seq, fn, item, t0_ns = msg
+        spans: list = []
+        if t0_ns is not None:
+            prev = get_tracer()
+            worker_tracer = Tracer(t0_ns=t0_ns)
+            set_tracer(worker_tracer)
+        try:
+            try:
+                result = fn(item)
+            finally:
+                if t0_ns is not None:
+                    set_tracer(prev)
+                    for span in worker_tracer.spans:
+                        span.args.setdefault("shard_worker", pid)
+                    spans = worker_tracer.spans
+            reply = (seq, "ok", result, spans, pid)
+        except Exception as exc:  # noqa: BLE001 - shipped to parent
+            reply = (seq, "error", exc, spans, pid)
+        try:
+            outbox.put(reply)
+        except Exception:  # unpicklable result/exception: degrade to repr
+            outbox.put((seq, "error", RuntimeError(repr(reply[2])), [], pid))
+
+
+class ShardedExecutor:
+    """Persistent worker servers sharding batches round-robin.
+
+    ``workers`` fixes the pool size; ``None`` resolves via
+    ``REPRO_JOBS`` (minimum 2 — a single shard is just a slow inline
+    loop).  Workers start lazily on the first ``map`` and persist until
+    :meth:`stop` (or context-manager exit).  In sandboxes that forbid
+    process/queue creation, ``map`` falls back to the inline loop and
+    counts ``engine.shard_fallbacks`` — results are identical either
+    way.
+    """
+
+    def __init__(self, workers: int | None = None) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._requested = workers
+        self._procs: list = []
+        self._inboxes: list = []
+        self._outbox = None
+        self._seq = 0
+        #: worker pid -> items evaluated there (tests assert sharding).
+        self.dispatch_counts: dict[int, int] = {}
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        return bool(self._procs)
+
+    @property
+    def worker_count(self) -> int:
+        return len(self._procs)
+
+    def _resolve_workers(self) -> int:
+        if self._requested is not None:
+            return self._requested
+        return max(2, resolve_jobs())
+
+    def start(self) -> None:
+        """Fork the worker servers (idempotent)."""
+        if self._procs:
+            return
+        n = self._resolve_workers()
+        if "fork" in multiprocessing.get_all_start_methods():
+            ctx = multiprocessing.get_context("fork")
+        else:
+            ctx = multiprocessing.get_context()
+        outbox = ctx.Queue()
+        inboxes, procs = [], []
+        for _ in range(n):
+            inbox = ctx.Queue()
+            proc = ctx.Process(
+                target=_shard_worker_loop, args=(inbox, outbox), daemon=True
+            )
+            proc.start()
+            inboxes.append(inbox)
+            procs.append(proc)
+        self._outbox = outbox
+        self._inboxes = inboxes
+        self._procs = procs
+
+    def stop(self) -> None:
+        """Shut the worker servers down (idempotent)."""
+        for inbox in self._inboxes:
+            try:
+                inbox.put(_STOP)
+            except Exception:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
+        for q in [*self._inboxes, self._outbox]:
+            if q is not None:
+                q.close()
+        self._procs = []
+        self._inboxes = []
+        self._outbox = None
+
+    def __enter__(self) -> "ShardedExecutor":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- execution ------------------------------------------------------
+    def map(self, fn: Callable, items: Sequence) -> list:
+        seq_items = list(items)
+        if not seq_items:
+            return []
+        if not self._procs:
+            try:
+                self.start()
+            except _SPAWN_FAILURES:
+                METRICS.inc("engine.shard_fallbacks")
+                return [fn(item) for item in seq_items]
+        try:
+            pickle.dumps(fn)
+            pickle.dumps(seq_items[0])
+        except Exception:
+            METRICS.inc("engine.shard_fallbacks")
+            return [fn(item) for item in seq_items]
+
+        tracer = get_tracer()
+        t0_ns = tracer.t0_ns if tracer is not None else None
+        n = len(self._inboxes)
+        base = self._seq
+        self._seq += len(seq_items)
+        with trace_span(
+            "sharded_map", cat="engine", workers=n, items=len(seq_items)
+        ):
+            # Round-robin on the batch-global sequence number, so a
+            # serving process issuing many single-unit batches still
+            # spreads them across the worker pool.
+            for i, item in enumerate(seq_items):
+                self._inboxes[(base + i) % n].put((base + i, fn, item, t0_ns))
+            replies: dict[int, tuple] = {}
+            for _ in seq_items:
+                seq, status, payload, spans, pid = self._outbox.get()
+                replies[seq] = (status, payload)
+                self.dispatch_counts[pid] = (
+                    self.dispatch_counts.get(pid, 0) + 1
+                )
+                if spans and tracer is not None:
+                    tracer.splice(spans)
+        results = []
+        for i in range(len(seq_items)):
+            status, payload = replies[base + i]
+            if status == "error":
+                # Deterministic: the lowest-index failure raises, as it
+                # would have in a serial loop.
+                raise payload
+            results.append(payload)
+        METRICS.inc("engine.shard_runs")
+        METRICS.inc("engine.shard_items", len(seq_items))
+        return results

@@ -1,0 +1,85 @@
+"""Per-graph cost priors for admission control.
+
+The serve layer triages deadlines by predicting how long a full-path
+estimate will take.  A single process-wide EWMA conflates graphs whose
+evaluation costs differ by orders of magnitude (a 1k-row synthetic vs
+reddit), so the engine records what each graph's evaluations *actually*
+cost — a running mean of measured per-request seconds, keyed by graph
+name.  Because the engine evaluates through the estimate cache, a
+graph's prior automatically tightens as its cache warms: repeat
+evaluations measure cache hits (microseconds), first-touch evaluations
+measure the simulator.  The EWMA survives only as the cold-start
+fallback for graphs with no observations yet.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+
+@dataclass
+class _Prior:
+    count: int = 0
+    mean_s: float = 0.0
+
+
+class CostPriorBook:
+    """Thread-safe running means of per-request evaluation seconds."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._priors: dict[str, _Prior] = {}
+
+    @staticmethod
+    def _key(graph: str | None) -> str:
+        return graph if graph is not None else ""
+
+    def observe(
+        self, graph: str | None, seconds_per_request: float, *, count: int = 1
+    ) -> None:
+        """Fold ``count`` requests that averaged ``seconds_per_request``."""
+        if count <= 0:
+            return
+        key = self._key(graph)
+        with self._lock:
+            prior = self._priors.setdefault(key, _Prior())
+            total = prior.count + count
+            prior.mean_s += (seconds_per_request - prior.mean_s) * (
+                count / total
+            )
+            prior.count = total
+
+    def predict(self, graph: str | None) -> float | None:
+        """Expected per-request seconds, or ``None`` with no history."""
+        with self._lock:
+            prior = self._priors.get(self._key(graph))
+            if prior is None or prior.count == 0:
+                return None
+            return prior.mean_s
+
+    def observations(self, graph: str | None) -> int:
+        with self._lock:
+            prior = self._priors.get(self._key(graph))
+            return prior.count if prior else 0
+
+    def snapshot(self) -> dict[str, dict]:
+        """``{graph: {count, mean_s}}`` for manifests and tests."""
+        with self._lock:
+            return {
+                name: {"count": p.count, "mean_s": p.mean_s}
+                for name, p in sorted(self._priors.items())
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._priors.clear()
+
+
+#: Process-wide book.  The engine writes it (``observe_priors`` configs);
+#: the serve layer reads it for deadline triage.
+_BOOK = CostPriorBook()
+
+
+def cost_priors() -> CostPriorBook:
+    return _BOOK

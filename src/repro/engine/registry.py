@@ -1,0 +1,62 @@
+"""The single op -> kernel-factory registry behind every estimation path.
+
+Before the engine existed, the bench runner (``_SWEEP_MAKERS``) and the
+serve estimator (``_MAKERS``) each kept a private copy of the same
+``{"spmm": make_spmm, "sddmm": make_sddmm}`` map, and the fig/table
+scripts plus GNN timing dispatched :func:`repro.kernels.make_spmm`
+directly.  All of them now resolve kernels here, so adding an op (or a
+backend) is a one-line change visible to every path at once.
+
+Lookups fail with a :class:`KeyError` whose message lists the valid
+choices — ops for a bad op, registered kernel names for a bad kernel —
+because these errors surface verbatim in serve responses and CLI output.
+"""
+
+from __future__ import annotations
+
+from ..kernels import make_sddmm, make_spmm
+from ..kernels.api import SDDMM_REGISTRY, SPMM_REGISTRY
+
+#: Canonical operation names.
+OP_SPMM = "spmm"
+OP_SDDMM = "sddmm"
+
+#: Operations the engine can estimate, in registry order.
+VALID_OPS: tuple[str, ...] = (OP_SPMM, OP_SDDMM)
+
+#: op -> kernel factory.  The one copy of the previously duplicated maps.
+_FACTORIES = {OP_SPMM: make_spmm, OP_SDDMM: make_sddmm}
+
+#: op -> name registry, for error messages and introspection.
+_REGISTRIES = {OP_SPMM: SPMM_REGISTRY, OP_SDDMM: SDDMM_REGISTRY}
+
+
+def kernel_factory(op: str):
+    """The factory callable for ``op``; raises a listing KeyError."""
+    try:
+        return _FACTORIES[op]
+    except KeyError:
+        raise KeyError(
+            f"unknown op {op!r}; valid ops are {list(VALID_OPS)}"
+        ) from None
+
+
+def valid_kernels(op: str) -> tuple[str, ...]:
+    """Registered kernel names for ``op``, sorted."""
+    kernel_factory(op)  # validate op first, with the op-listing error
+    return tuple(sorted(_REGISTRIES[op]))
+
+
+def make_kernel(op: str, name: str, **kwargs):
+    """Instantiate kernel ``name`` for ``op`` — the unified dispatch point.
+
+    A bad kernel name raises ``KeyError`` (the type serve reports as
+    ``"KeyError: ..."``) listing every registered kernel for that op.
+    """
+    factory = kernel_factory(op)
+    if name not in _REGISTRIES[op]:
+        raise KeyError(
+            f"unknown {op} kernel {name!r}; valid {op} kernels are "
+            f"{list(valid_kernels(op))}"
+        )
+    return factory(name, **kwargs)

@@ -29,10 +29,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
+from ..engine import EstimateRequest, EstimateResult, default_engine
 from ..formats import HybridMatrix
 from ..gpusim import DeviceSpec, TESLA_V100
-from ..kernels import make_sddmm, make_spmm
-from ..kernels.api import SDDMMKernel, SpMMKernel
 from ..obs import METRICS, trace_emit, tracing_enabled
 from ..perf.fingerprint import matrix_fingerprint
 
@@ -50,8 +49,6 @@ class TimingContext:
     elementwise_s: float = 0.0
     num_sparse_ops: int = 0
     num_dense_ops: int = 0
-    _kernel: SpMMKernel | None = None
-    _sddmm: SDDMMKernel | None = None
     _spmm_cache: dict = field(default_factory=dict)
     _sddmm_cache: dict = field(default_factory=dict)
 
@@ -59,15 +56,20 @@ class TimingContext:
     def total_s(self) -> float:
         return self.sparse_s + self.dense_s + self.elementwise_s
 
-    def kernel(self) -> SpMMKernel:
-        if self._kernel is None:
-            self._kernel = make_spmm(self.spmm_kernel, **self.spmm_kwargs)
-        return self._kernel
+    def _estimate(self, op: str, name: str, kwargs: dict,
+                  S: HybridMatrix, k: int) -> EstimateResult:
+        """One timing-only evaluation through the shared engine.
 
-    def sddmm(self) -> SDDMMKernel:
-        if self._sddmm is None:
-            self._sddmm = make_sddmm(self.sddmm_kernel)
-        return self._sddmm
+        The cost model reads shapes and the sparsity pattern, never the
+        operand values; the engine's inline executor keeps this a plain
+        in-process call (no plan check — training loops evaluate the
+        same two kernels thousands of times).
+        """
+        req = EstimateRequest(
+            op=op, kernel=name, k=k, device=self.device,
+            kernel_kwargs=tuple(sorted(kwargs.items())),
+        )
+        return default_engine().estimate(req, matrix=S)
 
     # ------------------------------------------------------------------
     def spmm_time(self, S: HybridMatrix, k: int) -> float:
@@ -78,20 +80,18 @@ class TimingContext:
         # object (weakref-guarded), so repeat lookups stay cheap.
         key = (matrix_fingerprint(S), k)
         if key not in self._spmm_cache:
-            # Timing-only evaluation: the cost model reads shapes and the
-            # sparsity pattern, never the operand values.
-            result = self.kernel().estimate(S, k, device=self.device)
-            self._spmm_cache[key] = result.stats.time_s + result.preprocessing_s
+            result = self._estimate(
+                "spmm", self.spmm_kernel, self.spmm_kwargs, S, k
+            )
+            self._spmm_cache[key] = result.total_time_s
         return self._spmm_cache[key]
 
     def sddmm_time(self, S: HybridMatrix, k: int) -> float:
         """Simulated time of one SDDMM over ``S`` with K-wide operands."""
         key = (matrix_fingerprint(S), k)
         if key not in self._sddmm_cache:
-            result = self.sddmm().estimate(S, k, device=self.device)
-            self._sddmm_cache[key] = (
-                result.stats.time_s + result.preprocessing_s
-            )
+            result = self._estimate("sddmm", self.sddmm_kernel, {}, S, k)
+            self._sddmm_cache[key] = result.total_time_s
         return self._sddmm_cache[key]
 
     def _emit_sim_span(self, name: str, dur_s: float, **args) -> None:

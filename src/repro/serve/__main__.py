@@ -55,6 +55,13 @@ def main(argv: list[str] | None = None) -> int:
         "--jobs", type=int, default=None,
         help="worker processes for batch fan-out (sets REPRO_JOBS)",
     )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help=(
+            "serve batches through N persistent sharded worker servers "
+            "(repro.engine.ShardedExecutor) instead of per-batch pools"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -89,7 +96,25 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
 
-    report = run_workload(spec)
+    if args.workers is not None and args.workers < 1:
+        print(
+            f"error: --workers must be >= 1, got {args.workers}",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.workers is not None:
+        from ..engine import ShardedExecutor
+
+        with ShardedExecutor(workers=args.workers) as executor:
+            report = run_workload(spec, executor=executor)
+            print(
+                f"[sharded: {executor.worker_count} worker servers, "
+                f"dispatch={sorted(executor.dispatch_counts.values())}]",
+                file=sys.stderr,
+            )
+    else:
+        report = run_workload(spec)
 
     experiment = f"serve_{spec.name}"
     base = results_dir()

@@ -1,39 +1,43 @@
 """The two evaluation paths behind the estimation server.
 
 * :func:`full_estimate` is the authoritative path: the kernel's cost
-  model on the GPU simulator, routed through the process-wide estimate
-  cache (:mod:`repro.perf.estimate_cache`), exactly what the bench
-  harness reports.
+  model on the GPU simulator, routed through :mod:`repro.engine` (and
+  therefore through the process-wide estimate cache), exactly what the
+  bench harness reports.
 * :func:`quick_estimate` is the degraded path: a closed-form roofline
   over aggregate matrix statistics (nnz, shape, K) with no warp-workload
   construction, no memory-transaction modeling and no cache-model
   sampling.  It is O(1), answers in microseconds, and is what the server
   falls back to when a request's deadline cannot survive the full path.
 
-``_estimate_signature`` is the module-level (picklable) batch work unit:
-serving batches fan distinct request signatures over ``REPRO_JOBS`` pool
-workers through :func:`repro.perf.parallel_map`, the same fan-out path
-the bench sweeps use.  It traps evaluation errors per signature so one
-bad request cannot fail a whole micro-batch.
+Batch fan-out lives in the engine now: the server builds engine
+requests per micro-batch group and executes them through its configured
+:class:`~repro.engine.Executor` (the ``REPRO_JOBS`` pool by default,
+or the sharded worker servers).  Both paths label their answers from
+the one bound vocabulary in :mod:`repro.engine.bounds`.
 """
 
 from __future__ import annotations
 
+from ..engine import (
+    BOUND_DRAM,
+    BOUND_FMA,
+    EstimateRequest as EngineRequest,
+    default_engine,
+)
 from ..formats import HybridMatrix
-from ..gpusim import DeviceSpec, get_device
-from ..kernels import make_sddmm, make_spmm
-from ..obs import trace_span
-
-#: op -> kernel factory (mirrors the bench runner's sweep makers).
-_MAKERS = {"spmm": make_spmm, "sddmm": make_sddmm}
+from ..gpusim import DeviceSpec
 
 
 def full_estimate(
     op: str, kernel: str, S: HybridMatrix, k: int, device: DeviceSpec
 ) -> tuple[float, float, str]:
     """Authoritative cost-model estimate: (time_s, preprocessing_s, bound)."""
-    result = _MAKERS[op](kernel).estimate(S, k, device=device)
-    return result.stats.time_s, result.preprocessing_s, result.stats.bound
+    res = default_engine().estimate(
+        EngineRequest(op=op, kernel=kernel, k=k, device=device),
+        matrix=S,
+    )
+    return res.time_s, res.preprocessing_s, res.bound
 
 
 def quick_estimate(
@@ -59,26 +63,4 @@ def quick_estimate(
     t_mem = bytes_moved / device.dram_bandwidth
     t_fma = flops / device.peak_fp32_flops
     time_s = max(t_mem, t_fma) + device.kernel_launch_overhead_s
-    return time_s, ("dram" if t_mem >= t_fma else "fma")
-
-
-def _estimate_signature(
-    item: tuple[str, str, HybridMatrix, int, str],
-) -> tuple[str, tuple]:
-    """One deduplicated signature's full evaluation — the pool work unit.
-
-    Returns ``("ok", (time_s, preprocessing_s, bound))`` or
-    ``("error", (message,))``; errors are data, not exceptions, so
-    :func:`repro.perf.parallel_map` never aborts a batch over one bad
-    signature.
-    """
-    op, kernel, S, k, device_name = item
-    try:
-        with trace_span(
-            "serve.estimate", cat="serve", op=op, kernel=kernel, k=k
-        ):
-            device = get_device(device_name)
-            time_s, pre_s, bound = full_estimate(op, kernel, S, k, device)
-        return "ok", (time_s, pre_s, bound)
-    except Exception as exc:  # noqa: BLE001 - per-signature error capture
-        return "error", (f"{type(exc).__name__}: {exc}",)
+    return time_s, (BOUND_DRAM if t_mem >= t_fma else BOUND_FMA)

@@ -20,8 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-#: Operations the serving layer can estimate.
-VALID_OPS = ("spmm", "sddmm")
+from ..engine.bounds import VALID_BOUNDS
+from ..engine.registry import VALID_OPS  # noqa: F401 - re-exported
 
 #: Response statuses, in decreasing order of answer quality.
 STATUS_OK = "ok"              #: full cost-model simulation
@@ -84,6 +84,21 @@ class EstimateResponse:
     queue_wait_s: float = 0.0      #: measured time spent queued
     batch_id: int = -1             #: micro-batch that served this request
     batch_size: int = 0            #: total requests in that batch
+
+    def __post_init__(self) -> None:
+        # Schema assertion: every answer's bound label must come from
+        # the engine's canonical vocabulary (repro.engine.bounds), so a
+        # new label cannot leak into serve reports unreviewed.
+        if self.bound is not None and self.bound not in VALID_BOUNDS:
+            raise ValueError(
+                f"unknown bound label {self.bound!r}; valid bounds are "
+                f"{list(VALID_BOUNDS)}"
+            )
+        if self.status not in STATUSES:
+            raise ValueError(
+                f"unknown status {self.status!r}; valid statuses are "
+                f"{list(STATUSES)}"
+            )
 
     @property
     def answered(self) -> bool:

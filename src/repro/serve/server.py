@@ -15,15 +15,20 @@ from a single batching worker thread:
    estimate-cache keys differ only in (kernel, K, device).  Requests
    beyond the first in a group count as *coalesced*.
 3. **Triage.**  Each request's remaining deadline budget is compared
-   against an EWMA of recent full-path cost times ``deadline_margin``.
-   A request that cannot make it degrades to the quick roofline model
+   against the predicted full-path cost times ``deadline_margin``.  The
+   prediction is the engine's *per-graph cost prior*
+   (:func:`repro.engine.cost_priors` — a running mean of what this
+   graph's evaluations actually cost, estimate-cache hits included);
+   graphs with no history yet fall back to the cold-start EWMA.  A
+   request that cannot make it degrades to the quick roofline model
    (status ``degraded``) when permitted, else answers ``timeout``.
 4. **Evaluate.**  Full-path requests are deduplicated by
    :attr:`EstimateRequest.signature` (duplicates count as *deduped*) and
-   the unique signatures fan out over :func:`repro.perf.parallel_map` —
-   ``REPRO_JOBS`` workers, same path as the bench sweeps.  Degraded
-   requests are answered inline by :func:`repro.serve.estimator
-   .quick_estimate`.
+   the unique signatures become one :mod:`repro.engine` batch executed
+   by the server's :class:`~repro.engine.Executor` — the ``REPRO_JOBS``
+   pool by default (same fan-out as the bench sweeps), or the sharded
+   persistent workers (``--workers``).  Degraded requests are answered
+   inline by :func:`repro.serve.estimator.quick_estimate`.
 
 Observability: every response's latency lands in the
 ``serve.request_latency`` histogram (and batch queue-waits in
@@ -39,12 +44,19 @@ import threading
 import time
 from collections import deque
 
+from ..engine import (
+    Engine,
+    EngineConfig,
+    EstimateRequest as EngineRequest,
+    Executor,
+    PoolExecutor,
+    cost_priors,
+)
 from ..gpusim import get_device
 from ..graphs import load_graph
 from ..obs import METRICS, get_tracer, observe_latency
 from ..obs.tracer import HOST_TRACK
-from ..perf import parallel_map
-from .estimator import _estimate_signature, quick_estimate
+from .estimator import quick_estimate
 from .request import (
     STATUS_DEGRADED,
     STATUS_ERROR,
@@ -100,10 +112,17 @@ class EstimationServer:
         How long the worker holds an under-full batch open after its
         first request before processing anyway.
     deadline_margin:
-        Safety factor on the EWMA full-path cost estimate used for
-        deadline triage; larger values degrade earlier.
+        Safety factor on the predicted full-path cost used for deadline
+        triage; larger values degrade earlier.
     initial_full_cost_s:
-        Seed for the full-path cost EWMA before any measurement exists.
+        Seed for the cold-start EWMA, used only for graphs the engine
+        has no cost prior for yet.
+    executor:
+        Engine execution strategy for full-path batches.  Default:
+        :class:`~repro.engine.PoolExecutor` honoring ``jobs`` /
+        ``REPRO_JOBS``.  Pass a started
+        :class:`~repro.engine.ShardedExecutor` for persistent
+        multi-worker serving.
     """
 
     def __init__(
@@ -114,6 +133,7 @@ class EstimationServer:
         deadline_margin: float = 2.0,
         initial_full_cost_s: float = 0.05,
         jobs: int | None = None,
+        executor: Executor | None = None,
     ) -> None:
         if max_batch <= 0:
             raise ValueError("max_batch must be positive")
@@ -123,6 +143,18 @@ class EstimationServer:
         self.batch_window_s = batch_window_s
         self.deadline_margin = deadline_margin
         self.jobs = jobs
+        self._engine = Engine(
+            EngineConfig(
+                check_plans=False,
+                capture_errors=True,
+                span="serve.estimate",
+                cat="serve",
+                observe_priors=True,
+            ),
+            executor=(
+                executor if executor is not None else PoolExecutor(jobs=jobs)
+            ),
+        )
         self._queue: deque[_Pending] = deque()
         self._cond = threading.Condition()
         self._worker: threading.Thread | None = None
@@ -296,6 +328,12 @@ class EstimationServer:
                 )
             return
 
+        # Predicted per-request full-path cost: the engine's per-graph
+        # prior when this graph has history (cache hits included), the
+        # cold-start EWMA otherwise.
+        prior_s = cost_priors().predict(graph_name)
+        predicted_s = prior_s if prior_s is not None else self._ewma_full_s
+
         full: dict[tuple, list[_Pending]] = {}  # signature -> requests
         quick: list[_Pending] = []
         for p in group:
@@ -303,7 +341,7 @@ class EstimationServer:
             req = p.request
             if req.deadline_s is not None:
                 remaining = req.deadline_s - (now - p.submit_mono)
-                needed = self._ewma_full_s * self.deadline_margin
+                needed = predicted_s * self.deadline_margin
                 if remaining < needed:
                     if req.allow_degraded:
                         quick.append(p)
@@ -352,28 +390,38 @@ class EstimationServer:
             METRICS.inc("serve.deduped", deduped)
             with self._stats_lock:
                 self._stats["deduped"] += deduped
-        items = [
-            (sig[0], sig[1], S, sig[3], sig[4]) for sig in signatures
+        engine_requests = [
+            EngineRequest(
+                op=sig[0], kernel=sig[1], graph=graph_name, k=sig[3],
+                device=sig[4], max_edges=max_edges,
+            )
+            for sig in signatures
         ]
-        eval_start = time.monotonic()  # lint: allow(wallclock) full-path cost feeds the deadline-triage EWMA
-        outcomes = parallel_map(_estimate_signature, items, jobs=self.jobs)
-        per_sig_s = (time.monotonic() - eval_start) / len(items)  # lint: allow(wallclock) full-path cost feeds the deadline-triage EWMA
-        # EWMA (alpha=0.3) of measured per-signature full-path cost.
+        # One engine batch per group: the engine evaluates through the
+        # estimate cache, records per-point spans, captures per-request
+        # errors as data, and observes this graph's cost prior.
+        result = self._engine.estimate_batch(
+            engine_requests, matrices={graph_name: S}
+        )
+        # Cold-start EWMA (alpha=0.3) of measured per-signature cost,
+        # used only until a graph has its own prior.
+        per_sig_s = result.elapsed_s / len(signatures)
         self._ewma_full_s += 0.3 * (per_sig_s - self._ewma_full_s)
-        METRICS.inc("serve.full_estimates", len(items))
+        METRICS.inc("serve.full_estimates", len(signatures))
 
-        for sig, (kind, payload) in zip(signatures, outcomes):
+        for sig, res in zip(signatures, result.results):
             for p in full[sig]:
-                if kind == "ok":
-                    time_s, pre_s, bound = payload
+                if res.ok:
                     resp = self._response(
                         p, STATUS_OK, batch_id, batch_size,
-                        time_s=time_s, preprocessing_s=pre_s, bound=bound,
+                        time_s=res.time_s,
+                        preprocessing_s=res.preprocessing_s,
+                        bound=res.bound,
                     )
                 else:
                     resp = self._response(
                         p, STATUS_ERROR, batch_id, batch_size,
-                        error=payload[0],
+                        error=res.error,
                     )
                 self._resolve(p, resp)
 

@@ -32,6 +32,7 @@ import threading
 import time
 from dataclasses import asdict, dataclass
 
+from ..engine import Executor, check_bound
 from ..obs import get_histogram
 from .request import EstimateRequest, EstimateResponse, STATUSES
 from .server import EstimationServer
@@ -152,11 +153,20 @@ def _drive_open(server, requests, rate_hz: float, seed: int) -> list:
     return [t.result() for t in tickets]
 
 
-def run_workload(spec: WorkloadSpec) -> dict:
-    """Run one workload on a fresh server; returns the report dict."""
+def run_workload(
+    spec: WorkloadSpec, *, executor: Executor | None = None
+) -> dict:
+    """Run one workload on a fresh server; returns the report dict.
+
+    ``executor`` overrides the server's engine execution strategy —
+    e.g. a started :class:`~repro.engine.ShardedExecutor` for
+    multi-worker serving.  Estimates are deterministic, so the report's
+    answers are identical for every executor; only latencies move.
+    """
     requests = generate_requests(spec)
     server = EstimationServer(
-        max_batch=spec.max_batch, batch_window_s=spec.batch_window_s
+        max_batch=spec.max_batch, batch_window_s=spec.batch_window_s,
+        executor=executor,
     )
     hist = get_histogram("serve.request_latency")
     count_before = hist.count
@@ -186,6 +196,11 @@ def build_report(
     latency = hist.summary()
     latency["count"] -= hist_count_before  # this run's share
     by_status = {s: stats.get(s, 0) for s in STATUSES}
+    # Report-schema assertion: every answered bound must come from the
+    # engine's canonical vocabulary (belt to EstimateResponse's braces).
+    for r in responses:
+        if r.bound is not None:
+            check_bound(r.bound)
     answers = [
         {
             "op": r.request.op,

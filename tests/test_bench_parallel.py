@@ -99,13 +99,13 @@ def test_fn_oserror_is_not_mistaken_for_pool_setup_failure():
 def test_plan_check_error_propagates_from_parallel_sweep(monkeypatch):
     """The sweep-point scenario from the issue: a plan-check failure at
     one point aborts the sweep instead of re-running it serially."""
-    from repro.bench import runner as runner_mod
     from repro.bench.runner import PlanCheckError, sweep_spmm
+    from repro.engine import core as engine_core
 
     def exploding_check(plan):
         raise PlanCheckError("injected plan failure")
 
-    monkeypatch.setattr(runner_mod, "check_plan", exploding_check)
+    monkeypatch.setattr(engine_core, "check_plan", exploding_check)
     graphs = [("a", random_hybrid(200, 200, 1500, seed=41))]
     with pytest.raises(PlanCheckError):
         sweep_spmm(graphs, ("hp-spmm",), k=32, jobs=1)

@@ -31,13 +31,17 @@ WAIT_S = 60.0
 
 @pytest.fixture(autouse=True)
 def fresh_serving_state(monkeypatch):
+    from repro.engine import cost_priors
+
     monkeypatch.delenv("REPRO_JOBS", raising=False)
     METRICS.reset()
     reset_histograms()
     get_estimate_cache().clear()
+    cost_priors().reset()
     yield
     METRICS.reset()
     reset_histograms()
+    cost_priors().reset()
 
 
 def req(**kw):
@@ -160,6 +164,36 @@ def test_forced_deadline_without_degradation_times_out():
 def test_generous_deadline_stays_on_full_path():
     with EstimationServer() as server:
         resp = server.estimate(req(deadline_s=600.0), timeout=WAIT_S)
+    assert resp.status == STATUS_OK
+
+
+def test_triage_uses_per_graph_cost_prior_over_ewma():
+    """A graph whose prior says 'expensive' degrades even under a
+    deadline the cold-start EWMA would accept."""
+    from repro.engine import cost_priors
+
+    cost_priors().observe("aifb", 10.0, count=4)  # 10 s/request history
+    with EstimationServer(initial_full_cost_s=1e-6) as server:
+        resp = server.estimate(req(deadline_s=5.0), timeout=WAIT_S)
+    assert resp.status == STATUS_DEGRADED
+
+
+def test_triage_falls_back_to_ewma_without_prior_history():
+    """No prior for the graph: the seeded EWMA is the cold-start cost."""
+    from repro.engine import cost_priors
+
+    assert cost_priors().predict("aifb") is None
+    with EstimationServer(initial_full_cost_s=100.0) as server:
+        resp = server.estimate(req(deadline_s=5.0), timeout=WAIT_S)
+    assert resp.status == STATUS_DEGRADED  # EWMA (100 s) vetoes the deadline
+    # One deadline-free request runs the full path and records a real
+    # (tiny) prior for this graph...
+    with EstimationServer(initial_full_cost_s=100.0) as server:
+        assert server.estimate(req(), timeout=WAIT_S).status == STATUS_OK
+    assert cost_priors().predict("aifb") is not None
+    # ...so the same deadline now passes triage despite the huge EWMA.
+    with EstimationServer(initial_full_cost_s=100.0) as server:
+        resp = server.estimate(req(deadline_s=5.0), timeout=WAIT_S)
     assert resp.status == STATUS_OK
 
 
