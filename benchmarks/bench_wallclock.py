@@ -13,6 +13,13 @@ counters observed across the run (table3 re-runs the fig9/fig10 kernel ×
 graph combinations, so its cache hit count shows the memo layer doing
 its job).  Results are deterministic; the timings are the only
 machine-dependent values in the file.
+
+A ``dispatch`` section (skippable with ``--no-dispatch``) additionally
+records batched engine-dispatch throughput — requests/sec through the
+inline, pool, and sharded executors, with the sharded path measured
+both over the legacy pickle transport (``REPRO_NO_SHARED_STORE=1``) and
+over ``repro.store`` fingerprint handles, so the zero-copy store's
+per-request win is a committed, diffable number.
 """
 
 from __future__ import annotations
@@ -91,6 +98,116 @@ def run_pipelines(
     return report
 
 
+#: Batched-dispatch workload: every (graph, kernel, k) combination below
+#: becomes one request per batch; four graphs -> four work units per
+#: batch, so pool/sharded executors genuinely fan out.
+DISPATCH_GRAPHS = ("corafull", "aifb", "mutag", "bgs")
+DISPATCH_KERNELS = ("hp-spmm", "ge-spmm", "row-split")
+DISPATCH_KS = (32, 64)
+DISPATCH_BATCHES = 8
+
+
+def _dispatch_requests(max_edges: int | None) -> list:
+    from repro.engine import EstimateRequest
+
+    return [
+        EstimateRequest(
+            op="spmm", kernel=kernel, graph=graph, k=k, max_edges=max_edges
+        )
+        for graph in DISPATCH_GRAPHS
+        for kernel in DISPATCH_KERNELS
+        for k in DISPATCH_KS
+    ]
+
+
+def _time_dispatch(engine, requests, batches: int) -> dict:
+    """Dispatch ``batches`` identical batches; per-request overhead stats.
+
+    One untimed warmup batch first: it forks/spins up executor workers,
+    publishes store segments, and warms worker-side estimate caches, so
+    the timed window measures steady-state dispatch overhead — the
+    serialization + queue tax the shared store exists to remove — rather
+    than one-time setup.  Key names are deliberately outside the
+    ``repro.obs diff`` timing-gated set (``seconds``/``*_seconds``/...):
+    throughput here is machine- and load-dependent context, not a gated
+    regression surface.
+    """
+    engine.estimate_batch(requests)  # warmup (untimed)
+    t0 = time.perf_counter()
+    for _ in range(batches):
+        result = engine.estimate_batch(requests)
+        assert all(r.ok for r in result)
+    elapsed = time.perf_counter() - t0
+    n = batches * len(requests)
+    return {
+        "requests": n,
+        "batches": batches,
+        "elapsed_s": round(elapsed, 4),
+        "requests_per_s": round(n / elapsed, 1),
+        "per_request_us": round(elapsed / n * 1e6, 1),
+    }
+
+
+def run_dispatch(
+    *,
+    max_edges: int | None = None,
+    batches: int = DISPATCH_BATCHES,
+) -> dict:
+    """Batched engine-dispatch throughput: inline vs pool vs sharded.
+
+    The sharded executor is measured twice — once shipping matrices over
+    the worker queues (``REPRO_NO_SHARED_STORE=1``, the pre-store pickle
+    path) and once shipping store fingerprints — so the report carries
+    the store's per-request win as a single ratio.
+    """
+    from repro.engine import Engine, PoolExecutor, ShardedExecutor
+    from repro.store import store_counters
+
+    requests = _dispatch_requests(max_edges)
+    report: dict = {
+        "workload": {
+            "graphs": list(DISPATCH_GRAPHS),
+            "kernels": list(DISPATCH_KERNELS),
+            "ks": list(DISPATCH_KS),
+            "requests_per_batch": len(requests),
+        }
+    }
+
+    report["inline"] = _time_dispatch(Engine(), requests, batches)
+    report["pool"] = _time_dispatch(
+        Engine(executor=PoolExecutor(jobs=2)), requests, batches
+    )
+
+    prior = os.environ.get("REPRO_NO_SHARED_STORE")
+    os.environ["REPRO_NO_SHARED_STORE"] = "1"
+    try:
+        with ShardedExecutor(workers=2) as executor:
+            report["sharded_pickle"] = _time_dispatch(
+                Engine(executor=executor), requests, batches
+            )
+    finally:
+        if prior is None:
+            os.environ.pop("REPRO_NO_SHARED_STORE", None)
+        else:
+            os.environ["REPRO_NO_SHARED_STORE"] = prior
+
+    before = store_counters()
+    with ShardedExecutor(workers=2) as executor:
+        report["sharded_store"] = _time_dispatch(
+            Engine(executor=executor), requests, batches
+        )
+    after = store_counters()
+    report["store_delta"] = {
+        key: after[key] - before[key] for key in sorted(after)
+    }
+    report["sharded_store_speedup_vs_pickle"] = round(
+        report["sharded_pickle"]["per_request_us"]
+        / report["sharded_store"]["per_request_us"],
+        3,
+    )
+    return report
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -108,26 +225,64 @@ def main(argv: list[str] | None = None) -> int:
         "--fig12-nodes", type=int, default=None, help="fig12 suite graph size"
     )
     parser.add_argument(
+        "--no-dispatch", action="store_true",
+        help="skip the batched-dispatch throughput section",
+    )
+    parser.add_argument(
+        "--dispatch-only", action="store_true",
+        help="run only the batched-dispatch throughput section",
+    )
+    parser.add_argument(
         "--output",
         default=os.path.join(REPO_ROOT, "BENCH_harness.json"),
         help="report path (default: <repo>/BENCH_harness.json)",
     )
     args = parser.parse_args(argv)
     pipelines = tuple(p.strip() for p in args.pipelines.split(",") if p.strip())
-    report = run_pipelines(
-        pipelines,
-        max_edges=args.max_edges,
-        subgraphs=args.subgraphs,
-        fig12_nodes=args.fig12_nodes,
-    )
+    if args.dispatch_only:
+        from repro.obs import snapshot
+
+        report = {"meta": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpus": os.cpu_count(),
+            "max_edges": args.max_edges,
+        }}
+    else:
+        report = run_pipelines(
+            pipelines,
+            max_edges=args.max_edges,
+            subgraphs=args.subgraphs,
+            fig12_nodes=args.fig12_nodes,
+        )
+    if not args.no_dispatch:
+        from repro.obs import snapshot
+
+        report["dispatch"] = run_dispatch(max_edges=args.max_edges)
+        # Refresh the unified snapshot so the committed report's
+        # ``store.*`` / ``engine.shard_*`` counters include the
+        # dispatch section's activity.
+        report["metrics"] = snapshot()
     with open(args.output, "w") as f:
         json.dump(report, f, indent=2, sort_keys=True)
         f.write("\n")
-    for name, row in report["pipelines"].items():
+    for name, row in report.get("pipelines", {}).items():
         print(
             f"{name:>8}: {row['seconds']:8.2f}s  "
             f"(cache {row['estimate_cache_hits']} hits / "
             f"{row['estimate_cache_misses']} misses)"
+        )
+    if "dispatch" in report:
+        d = report["dispatch"]
+        for variant in ("inline", "pool", "sharded_pickle", "sharded_store"):
+            row = d[variant]
+            print(
+                f"{variant:>16}: {row['requests_per_s']:9.1f} req/s  "
+                f"({row['per_request_us']:.1f} us/req)"
+            )
+        print(
+            f"{'store speedup':>16}: "
+            f"{d['sharded_store_speedup_vs_pickle']:.2f}x vs pickle path"
         )
     print(f"-> {args.output}")
     from repro.obs import export_trace, tracing_enabled

@@ -40,7 +40,9 @@ from ..formats import HybridMatrix
 from ..gpusim import DeviceSpec, KernelStats, get_device
 from ..graphs import load_graph
 from ..obs import METRICS, trace_span
+from ..obs.tracer import get_tracer
 from ..perf.estimate_cache import cache_enabled
+from ..store import StoreError, StoreHandle, get_store, store_enabled
 from .bounds import VALID_BOUNDS
 from .executors import Executor, InlineExecutor
 from .priors import cost_priors
@@ -207,15 +209,46 @@ class _Outcome:
 
 @dataclass
 class _WorkUnit:
-    """One graph's worth of points — the unit of executor fan-out."""
+    """One graph's worth of points — the unit of executor fan-out.
+
+    When the planner published the unit's matrix to the shared store,
+    ``store_ref`` carries the segment handle and pickling drops ``S``:
+    executors ship a few hundred bytes of fingerprint metadata instead
+    of the CSR arrays, and the worker re-attaches a zero-copy view in
+    :func:`_materialize`.  The parent's own copy always keeps ``S``, so
+    inline execution and attach-failure fallbacks never touch the store.
+    """
 
     graph: str | None
-    S: HybridMatrix
+    S: HybridMatrix | None
     points: list[_Point]
     check_plans: bool
     capture_errors: bool
     span: str
     cat: str
+    store_ref: StoreHandle | None = None
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        if state.get("store_ref") is not None:
+            state["S"] = None  # consumers re-attach from the store
+        return state
+
+
+def _materialize(unit: _WorkUnit) -> HybridMatrix:
+    """The unit's matrix, attaching from the shared store if shipped.
+
+    Raises :class:`~repro.store.StoreAttachError` when the referenced
+    segment is gone or corrupted — executors catch exactly that and
+    re-evaluate the item from the parent's full copy.
+    """
+    if unit.S is None:
+        if unit.store_ref is None:
+            raise StoreError(
+                "work unit has neither a matrix nor a store reference"
+            )
+        unit.S = get_store().attach(unit.store_ref)
+    return unit.S
 
 
 @dataclass
@@ -226,29 +259,58 @@ class _UnitOutput:
     seconds: float            #: measured unit wall time (feeds priors)
 
 
+#: (op, kernel name, kwargs) -> kernel instance.  Kernel objects are
+#: immutable after construction (no method assigns attributes), so one
+#: instance can serve every request naming the same configuration —
+#: construction plus the per-instance fingerprint hashing used to be
+#: paid per request.
+_KERNEL_MEMO: dict[tuple, object] = {}
+_KERNEL_MEMO_MAX = 256
+
+
+def _get_kernel(op: str, name: str, kwargs: tuple):
+    key = (op, name, kwargs)
+    kernel = _KERNEL_MEMO.get(key)
+    if kernel is None:
+        kernel = make_kernel(op, name, **dict(kwargs))
+        if len(_KERNEL_MEMO) >= _KERNEL_MEMO_MAX:
+            _KERNEL_MEMO.clear()
+        _KERNEL_MEMO[key] = kernel
+    return kernel
+
+
 def _evaluate_point(unit: _WorkUnit, pt: _Point) -> tuple[_Outcome, tuple]:
     """One point through the full pipeline body: span, check, estimate."""
+    if get_tracer() is None:
+        # Untraced fast path: skip span-name formatting and span-kwarg
+        # assembly — pure per-request overhead when no tracer is live
+        # (trace_span itself would no-op, but only after both were built).
+        return _point_body(unit, pt)
     with trace_span(
         unit.span.format(op=pt.op), cat=unit.cat,
         op=pt.op, graph=unit.graph, kernel=pt.kernel, k=pt.k,
         device=pt.device.name,
     ):
-        kernel = make_kernel(pt.op, pt.kernel, **dict(pt.kwargs))
-        diags = ()
-        if unit.check_plans:
-            diags = check_plan(
-                plan_for_kernel(kernel, unit.S, pt.k, pt.device)
+        return _point_body(unit, pt)
+
+
+def _point_body(unit: _WorkUnit, pt: _Point) -> tuple[_Outcome, tuple]:
+    kernel = _get_kernel(pt.op, pt.kernel, pt.kwargs)
+    diags = ()
+    if unit.check_plans:
+        diags = check_plan(
+            plan_for_kernel(kernel, unit.S, pt.k, pt.device)
+        )
+        errors = [d for d in diags if d.severity == ERROR]
+        if errors:
+            detail = "\n".join(d.render() for d in errors)
+            raise PlanCheckError(
+                f"kernel {pt.kernel!r} on graph {unit.graph!r} "
+                f"(k={pt.k}, {pt.device.name}) has an illegal "
+                f"schedule; refusing to simulate a silently-wrong "
+                f"sweep point:\n{detail}"
             )
-            errors = [d for d in diags if d.severity == ERROR]
-            if errors:
-                detail = "\n".join(d.render() for d in errors)
-                raise PlanCheckError(
-                    f"kernel {pt.kernel!r} on graph {unit.graph!r} "
-                    f"(k={pt.k}, {pt.device.name}) has an illegal "
-                    f"schedule; refusing to simulate a silently-wrong "
-                    f"sweep point:\n{detail}"
-                )
-        res = kernel.estimate(unit.S, pt.k, pt.device)
+    res = kernel.estimate(unit.S, pt.k, pt.device)
     flops = 2.0 * unit.S.nnz * pt.k
     return _Outcome(
         index=pt.index,
@@ -269,6 +331,7 @@ def _execute_unit(unit: _WorkUnit) -> _UnitOutput:
     same work body.  Deterministic estimates make the executor choice
     invisible in the results.
     """
+    _materialize(unit)
     t0 = time.monotonic()  # lint: allow(wallclock) measured evaluation cost feeds admission-control priors
     outcomes: list[_Outcome] = []
     checked = 0
@@ -419,12 +482,19 @@ class Engine:
         """
         check = self.config.plan_checking()
         capture = self.config.capture_errors
+        # Publish matrices only for executors that actually cross a
+        # process boundary — inline batches never pay pickling, so the
+        # store would be pure overhead there.
+        publish = store_enabled() and getattr(
+            self.executor, "ships_work", False
+        )
         groups: dict[tuple, list[tuple[int, EstimateRequest]]] = {}
         for i, req in enumerate(requests):
             groups.setdefault(req.group_key, []).append((i, req))
 
         units: list[_WorkUnit] = []
         failures: list[tuple[int, str]] = []
+        device_memo: dict[str, DeviceSpec] = {}
         for (gname, max_edges), members in groups.items():
             try:
                 S = self._resolve_matrix(gname, max_edges, matrices, matrix)
@@ -437,11 +507,15 @@ class Engine:
             points: list[_Point] = []
             for i, req in members:
                 try:
-                    device = (
-                        req.device
-                        if isinstance(req.device, DeviceSpec)
-                        else get_device(req.device)
-                    )
+                    if isinstance(req.device, DeviceSpec):
+                        device = req.device
+                    else:
+                        # A batch reuses a handful of short names across
+                        # hundreds of requests — resolve each name once.
+                        device = device_memo.get(req.device)
+                        if device is None:
+                            device = get_device(req.device)
+                            device_memo[req.device] = device
                 except Exception as exc:
                     if not capture:
                         raise
@@ -455,11 +529,19 @@ class Engine:
                     )
                 )
             if points:
+                store_ref = None
+                if publish:
+                    try:
+                        store_ref = get_store().publish(S)
+                    except StoreError:
+                        # Degrade to shipping the pickled matrix.
+                        get_store().record_fallback()
                 units.append(
                     _WorkUnit(
                         graph=gname, S=S, points=points,
                         check_plans=check, capture_errors=capture,
                         span=self.config.span, cat=self.config.cat,
+                        store_ref=store_ref,
                     )
                 )
         return units, failures

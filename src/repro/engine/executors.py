@@ -34,6 +34,7 @@ from typing import Callable, Protocol, Sequence
 from ..obs import METRICS, trace_span
 from ..obs.tracer import Tracer, get_tracer, set_tracer
 from ..perf.parallel import parallel_map, resolve_jobs
+from ..store import StoreAttachError, get_store, store_counters
 
 #: Failures creating processes/queues in restricted sandboxes.
 _SPAWN_FAILURES = (OSError, PermissionError, ValueError, ImportError)
@@ -42,7 +43,14 @@ _STOP = None  # sentinel shutting down a shard worker
 
 
 class Executor(Protocol):
-    """Order-preserving ``map`` over the engine's work units."""
+    """Order-preserving ``map`` over the engine's work units.
+
+    ``ships_work`` tells the planner whether ``map`` may move items
+    across a process boundary — only then is publishing matrices to the
+    shared store worth anything.
+    """
+
+    ships_work: bool
 
     def map(self, fn: Callable, items: Sequence) -> list:
         ...
@@ -50,6 +58,8 @@ class Executor(Protocol):
 
 class InlineExecutor:
     """Serial, in-process evaluation — the deterministic baseline."""
+
+    ships_work = False
 
     def map(self, fn: Callable, items: Sequence) -> list:
         return [fn(item) for item in items]
@@ -63,11 +73,22 @@ class PoolExecutor:
     worker-span splicing behavior are ``parallel_map``'s own.
     """
 
+    ships_work = True
+
     def __init__(self, jobs: int | None = None) -> None:
         self.jobs = jobs
 
     def map(self, fn: Callable, items: Sequence) -> list:
-        return parallel_map(fn, list(items), jobs=self.jobs)
+        seq_items = list(items)
+        try:
+            return parallel_map(fn, seq_items, jobs=self.jobs)
+        except StoreAttachError:
+            # A pool worker could not attach a shared segment (unlinked
+            # or corrupted).  The parent's items keep their full
+            # matrices, so re-evaluating inline is exact — the store is
+            # a transport optimization, never a correctness dependency.
+            get_store().record_fallback()
+        return [fn(item) for item in seq_items]
 
 
 def _shard_worker_loop(inbox, outbox) -> None:
@@ -86,6 +107,10 @@ def _shard_worker_loop(inbox, outbox) -> None:
             return
         seq, fn, item, t0_ns = msg
         spans: list = []
+        # Store counters accumulate in the worker's own process; ship
+        # the per-item delta back so the parent's snapshot (and run
+        # manifests) account for the sharing actually happening.
+        before = store_counters()
         if t0_ns is not None:
             prev = get_tracer()
             worker_tracer = Tracer(t0_ns=t0_ns)
@@ -99,13 +124,21 @@ def _shard_worker_loop(inbox, outbox) -> None:
                     for span in worker_tracer.spans:
                         span.args.setdefault("shard_worker", pid)
                     spans = worker_tracer.spans
-            reply = (seq, "ok", result, spans, pid)
+                after = store_counters()
+                delta = {
+                    key: after[key] - before[key]
+                    for key in ("attaches", "attach_hits", "fallbacks")
+                    if after[key] != before[key]
+                }
+            reply = (seq, "ok", result, spans, pid, delta)
         except Exception as exc:  # noqa: BLE001 - shipped to parent
-            reply = (seq, "error", exc, spans, pid)
+            reply = (seq, "error", exc, spans, pid, delta)
         try:
             outbox.put(reply)
         except Exception:  # unpicklable result/exception: degrade to repr
-            outbox.put((seq, "error", RuntimeError(repr(reply[2])), [], pid))
+            outbox.put(
+                (seq, "error", RuntimeError(repr(reply[2])), [], pid, {})
+            )
 
 
 class ShardedExecutor:
@@ -120,6 +153,8 @@ class ShardedExecutor:
     way.
     """
 
+    ships_work = True
+
     def __init__(self, workers: int | None = None) -> None:
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -128,6 +163,8 @@ class ShardedExecutor:
         self._inboxes: list = []
         self._outbox = None
         self._seq = 0
+        #: fn -> pickle-probe verdict, held for the executor's lifetime.
+        self._probe_ok: dict = {}
         #: worker pid -> items evaluated there (tests assert sharding).
         self.dispatch_counts: dict[int, int] = {}
 
@@ -186,6 +223,7 @@ class ShardedExecutor:
         self._procs = []
         self._inboxes = []
         self._outbox = None
+        self._probe_ok.clear()
 
     def __enter__(self) -> "ShardedExecutor":
         self.start()
@@ -205,10 +243,21 @@ class ShardedExecutor:
             except _SPAWN_FAILURES:
                 METRICS.inc("engine.shard_fallbacks")
                 return [fn(item) for item in seq_items]
-        try:
-            pickle.dumps(fn)
-            pickle.dumps(seq_items[0])
-        except Exception:
+        # Probe picklability once per (executor lifetime, fn) — a
+        # serving process dispatches thousands of homogeneous batches
+        # through one fn, and the old per-batch probe double-serialized
+        # the first item of every one of them.
+        probed = self._probe_ok.get(fn)
+        if probed is None:
+            METRICS.inc("engine.shard_probes")
+            try:
+                pickle.dumps(fn)
+                pickle.dumps(seq_items[0])
+                probed = True
+            except Exception:
+                probed = False
+            self._probe_ok[fn] = probed
+        if not probed:
             METRICS.inc("engine.shard_fallbacks")
             return [fn(item) for item in seq_items]
 
@@ -227,17 +276,26 @@ class ShardedExecutor:
                 self._inboxes[(base + i) % n].put((base + i, fn, item, t0_ns))
             replies: dict[int, tuple] = {}
             for _ in seq_items:
-                seq, status, payload, spans, pid = self._outbox.get()
+                seq, status, payload, spans, pid, delta = self._outbox.get()
                 replies[seq] = (status, payload)
                 self.dispatch_counts[pid] = (
                     self.dispatch_counts.get(pid, 0) + 1
                 )
+                if delta:
+                    get_store().absorb(delta)
                 if spans and tracer is not None:
                     tracer.splice(spans)
         results = []
         for i in range(len(seq_items)):
             status, payload = replies[base + i]
             if status == "error":
+                if isinstance(payload, StoreAttachError):
+                    # The worker lost the shared segment; the parent's
+                    # item still holds its matrix, so evaluate it here
+                    # (fn is deterministic — same result either way).
+                    get_store().record_fallback()
+                    results.append(fn(seq_items[i]))
+                    continue
                 # Deterministic: the lowest-index failure raises, as it
                 # would have in a serial loop.
                 raise payload

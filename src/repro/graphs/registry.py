@@ -16,6 +16,7 @@ from functools import lru_cache
 import numpy as np
 
 from ..formats import HybridMatrix
+from ..store import shared_matrix
 from .generators import community_graph
 
 #: Default cap on generated edge count (before self-loops); override with
@@ -145,7 +146,7 @@ def _load_cached(name: str, max_edges: int) -> Dataset:
                 data["row"], data["col"], data["val"],
                 shape=(int(data["m"]), int(data["n"])),
             )
-            return Dataset(spec=spec, matrix=matrix)
+            return Dataset(spec=spec, matrix=shared_matrix(matrix))
         except Exception:
             os.remove(path)  # corrupt cache entry: regenerate
     scale = nodes / spec.paper_nodes
@@ -166,7 +167,11 @@ def _load_cached(name: str, max_edges: int) -> Dataset:
         m=matrix.shape[0],
         n=matrix.shape[1],
     )
-    return Dataset(spec=spec, matrix=matrix)
+    # Registry datasets are re-backed by their shared-store segment, so
+    # the in-process copy IS the copy every worker attaches (zero-copy
+    # dispatch) and the matrix arrives pre-fingerprinted.  Returns the
+    # original matrix untouched when the store is disabled.
+    return Dataset(spec=spec, matrix=shared_matrix(matrix))
 
 
 def load_graph(name: str, *, max_edges: int | None = None) -> Dataset:

@@ -16,7 +16,7 @@ provides four zero-dependency pieces (DESIGN.md §2, "obs/"):
 * :mod:`repro.obs.manifest` — run manifests (config, env flags,
   versions, metrics) written next to every ``results/`` report;
 * :mod:`repro.obs.diff` — a report comparator (``python -m repro.obs
-  diff OLD.json NEW.json --threshold 0.15``) that exits nonzero on
+  diff OLD.json NEW.json --threshold 0.10``) that exits nonzero on
   wall-clock regressions, wired into the verify recipe so the perf
   trajectory of ``BENCH_harness.json`` accumulates across PRs.
 

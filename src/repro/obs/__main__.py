@@ -2,7 +2,7 @@
 
 Usage::
 
-    python -m repro.obs diff OLD.json NEW.json [--threshold 0.15] [-v]
+    python -m repro.obs diff OLD.json NEW.json [--threshold 0.10] [-v]
     python -m repro.obs snapshot
 
 ``diff`` compares two JSON bench reports (e.g. ``BENCH_harness.json``
@@ -37,8 +37,8 @@ def main(argv: list[str] | None = None) -> int:
     p_diff.add_argument(
         "--threshold",
         type=float,
-        default=0.15,
-        help="allowed relative slowdown for timing keys (default 0.15)",
+        default=0.10,
+        help="allowed relative slowdown for timing keys (default 0.10)",
     )
     p_diff.add_argument(
         "-v",

@@ -1,6 +1,6 @@
 """Perf-regression comparator for JSON bench reports.
 
-``python -m repro.obs diff OLD.json NEW.json --threshold 0.15`` compares
+``python -m repro.obs diff OLD.json NEW.json --threshold 0.10`` compares
 two machine-readable reports — the wall-clock harness output
 (``BENCH_harness.json``), a run manifest, or any JSON document with
 numeric leaves — and exits nonzero when a **timing** value regressed
@@ -143,7 +143,7 @@ class DiffResult:
         return "\n".join(lines)
 
 
-def diff_reports(old: dict, new: dict, threshold: float = 0.15) -> DiffResult:
+def diff_reports(old: dict, new: dict, threshold: float = 0.10) -> DiffResult:
     """Compare two loaded reports; see the module docstring for rules."""
     if threshold < 0:
         raise ValueError(f"threshold must be >= 0, got {threshold}")

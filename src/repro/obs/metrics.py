@@ -22,7 +22,10 @@ Counter names are dotted, ``subsystem.event``:
 * ``serve.*`` — estimation-serving layer accounting (requests, batches,
   coalescing, degraded/timeout responses; see :mod:`repro.serve`);
 * ``estimate_cache.*`` — merged in at snapshot time from
-  :func:`repro.perf.estimate_cache.estimate_cache_stats`.
+  :func:`repro.perf.estimate_cache.estimate_cache_stats`;
+* ``store.*`` — shared graph/matrix store accounting (publishes,
+  attaches, bytes shared, fallbacks), merged in at snapshot time from
+  :func:`repro.store.store_counters`.
 
 Counters are deterministic given the same inputs, so manifests diff
 cleanly across runs; only host timings (which never enter the counter
@@ -245,6 +248,7 @@ def snapshot() -> dict:
     # Imported lazily: repro.perf.parallel imports this module, so a
     # top-level import would be circular.
     from ..perf.estimate_cache import estimate_cache_stats
+    from ..store import store_counters
     from .tracer import get_tracer
 
     out = METRICS.counters()
@@ -259,6 +263,11 @@ def snapshot() -> dict:
             "estimate_cache.entries": cache.entries,
             "estimate_cache.stored_bytes": cache.stored_bytes,
         }
+    )
+    # Shared-store counters live on the store instance (workers ship
+    # deltas back through their executors) and merge the same way.
+    out.update(
+        {f"store.{k}": v for k, v in store_counters().items()}
     )
     tracer = get_tracer()
     out["trace.spans"] = len(tracer.spans) if tracer is not None else 0

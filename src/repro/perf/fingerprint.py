@@ -19,6 +19,7 @@ from __future__ import annotations
 import hashlib
 import weakref
 from dataclasses import fields, is_dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -67,6 +68,28 @@ def matrix_fingerprint(S) -> str:
     return fp
 
 
+def register_fingerprint(S, fp: str) -> None:
+    """Pre-seed the matrix memo with a known fingerprint.
+
+    The shared store records each segment's fingerprint in its header,
+    so a process attaching a matrix already knows the answer — seeding
+    the memo means the first estimate in that process skips re-hashing
+    the index arrays entirely.
+    """
+    try:
+        _MATRIX_MEMO[id(S)] = (weakref.ref(S), fp)
+    except TypeError:
+        pass
+
+
+@lru_cache(maxsize=256)
+def _frozen_dataclass_fingerprint(obj) -> str:
+    parts = [type(obj).__name__]
+    for f in fields(obj):
+        parts.append(f"{f.name}={getattr(obj, f.name)!r}")
+    return "|".join(parts)
+
+
 def dataclass_fingerprint(obj) -> str:
     """Stable fingerprint of a flat dataclass (DeviceSpec, CostParams).
 
@@ -76,10 +99,23 @@ def dataclass_fingerprint(obj) -> str:
     """
     if not is_dataclass(obj):
         return repr(obj)
-    parts = [type(obj).__name__]
-    for f in fields(obj):
-        parts.append(f"{f.name}={getattr(obj, f.name)!r}")
-    return "|".join(parts)
+    try:
+        # DeviceSpec/CostParams are frozen (hashable) dataclasses, and a
+        # batch reuses a handful of them thousands of times — an LRU on
+        # the instance beats rebuilding the repr string per request.
+        return _frozen_dataclass_fingerprint(obj)
+    except TypeError:  # unhashable (mutable) dataclass: compute directly
+        parts = [type(obj).__name__]
+        for f in fields(obj):
+            parts.append(f"{f.name}={getattr(obj, f.name)!r}")
+        return "|".join(parts)
+
+
+#: id(kernel) -> (weakref, fingerprint); same shape as _MATRIX_MEMO.
+#: Kernel instances are immutable after __init__ (no method assigns
+#: attributes), so memoizing per live object is safe.
+_KERNEL_FP_MEMO: dict[int, tuple[weakref.ref, str]] = {}
+_KERNEL_FP_MEMO_MAX = 256
 
 
 def kernel_config_fingerprint(kernel) -> str:
@@ -89,6 +125,23 @@ def kernel_config_fingerprint(kernel) -> str:
     instance attributes, so the sorted ``__dict__`` captures everything
     that can change an estimate besides the registered name.
     """
+    key = id(kernel)
+    entry = _KERNEL_FP_MEMO.get(key)
+    if entry is not None:
+        ref, fp = entry
+        if ref() is kernel:
+            return fp
     attrs = getattr(kernel, "__dict__", {})
     body = ",".join(f"{k}={v!r}" for k, v in sorted(attrs.items()))
-    return f"{kernel.name}({body})"
+    fp = f"{kernel.name}({body})"
+    if len(_KERNEL_FP_MEMO) >= _KERNEL_FP_MEMO_MAX:
+        dead = [k for k, (r, _) in _KERNEL_FP_MEMO.items() if r() is None]
+        for k in dead:
+            del _KERNEL_FP_MEMO[k]
+        if len(_KERNEL_FP_MEMO) >= _KERNEL_FP_MEMO_MAX:
+            _KERNEL_FP_MEMO.clear()
+    try:
+        _KERNEL_FP_MEMO[key] = (weakref.ref(kernel), fp)
+    except TypeError:
+        pass
+    return fp

@@ -116,6 +116,18 @@ def main(argv: list[str] | None = None) -> int:
     else:
         report = run_workload(spec)
 
+    from ..store import store_counters, store_enabled
+
+    if store_enabled():
+        sc = store_counters()
+        print(
+            f"[store: {sc['segments']} segments, "
+            f"{sc['bytes_shared']} bytes shared, "
+            f"attaches={sc['attaches']}+{sc['attach_hits']} cached, "
+            f"fallbacks={sc['fallbacks']}]",
+            file=sys.stderr,
+        )
+
     experiment = f"serve_{spec.name}"
     base = results_dir()
     path = os.path.join(base, f"{experiment}.json")

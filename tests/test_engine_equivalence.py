@@ -174,6 +174,51 @@ def test_serve_replay_identical_across_executors():
 
 
 @pytest.mark.serve
+@pytest.mark.store
+def test_store_backed_reports_byte_identical_to_pickle_backed(monkeypatch):
+    """Golden equivalence: the shared store changes transport, nothing else.
+
+    The same sharded workload runs once over store fingerprints and once
+    over the legacy pickle path (``REPRO_NO_SHARED_STORE=1``); the
+    deterministic report fields must be byte-identical and the
+    parent-side estimate-cache traffic (hit/miss deltas) must match
+    exactly.
+    """
+    from repro.serve.workload import WorkloadSpec, run_workload
+    from repro.store import reset_store, store_counters
+
+    spec = WorkloadSpec(
+        name="equiv-store", num_requests=16, max_edges=20_000,
+        graphs=("aifb",), forced_deadline_every=5,
+    )
+
+    def run(no_store: bool):
+        if no_store:
+            monkeypatch.setenv("REPRO_NO_SHARED_STORE", "1")
+        else:
+            monkeypatch.delenv("REPRO_NO_SHARED_STORE", raising=False)
+        METRICS.reset()
+        reset_histograms()
+        get_estimate_cache().clear()
+        cost_priors().reset()
+        with ShardedExecutor(workers=2) as executor:
+            report = run_workload(spec, executor=executor)
+        stats = get_estimate_cache().stats()
+        return report, (stats.hits, stats.misses)
+
+    reset_store()
+    store_report, store_cache = run(no_store=False)
+    assert store_counters()["bytes_shared"] > 0  # the store was in play
+    pickle_report, pickle_cache = run(no_store=True)
+
+    assert _deterministic_report_fields(
+        store_report
+    ) == _deterministic_report_fields(pickle_report)
+    assert store_cache == pickle_cache
+    reset_store()
+
+
+@pytest.mark.serve
 def test_serve_full_answers_match_direct_estimates():
     from repro.graphs import load_graph
     from repro.serve import EstimateRequest as ServeRequest

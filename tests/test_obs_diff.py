@@ -50,13 +50,13 @@ def test_regression_past_threshold_flags():
 
 
 def test_threshold_is_inclusive_boundary():
-    # Exactly +15% is allowed; just above is not.
+    # Exactly +10% (the default threshold) is allowed; just above is not.
     at = diff_reports(
-        _harness_report(fig9_s=1.0), _harness_report(fig9_s=1.15)
+        _harness_report(fig9_s=1.0), _harness_report(fig9_s=1.10)
     )
     assert at.ok
     above = diff_reports(
-        _harness_report(fig9_s=1.0), _harness_report(fig9_s=1.1501)
+        _harness_report(fig9_s=1.0), _harness_report(fig9_s=1.1001)
     )
     assert not above.ok
 
