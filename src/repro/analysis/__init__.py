@@ -1,14 +1,17 @@
-"""``repro.analysis`` — static schedule checking + determinism linting.
+"""``repro.analysis`` — schedule checking, determinism linting, procsafety.
 
-Two layers, one entry point (``python -m repro.analysis``):
+Three layers, one entry point (``python -m repro.analysis``):
 
 * :mod:`~repro.analysis.schedule` statically verifies kernel task
   decompositions (coverage, races, occupancy, HVMA preconditions)
   without running the simulator;
 * :mod:`~repro.analysis.lint` walks the source tree enforcing the
-  repo's determinism and numerics rules.
+  repo's determinism and numerics rules;
+* :mod:`~repro.analysis.procsafety` walks the same tree enforcing the
+  host-side concurrency and resource-lifecycle rules (fork safety,
+  shared-store lifecycle, lock discipline, env-var config drift).
 
-:func:`run_all` drives both and returns a single
+:func:`run_all` drives all three and returns a single
 :class:`~repro.analysis.diagnostics.Report` whose ``exit_code`` is the
 CI gate.  Kernel tests get the same checks through the ``check_plan``
 pytest fixture (:mod:`repro.analysis.pytest_plugin`), and the bench
@@ -20,8 +23,9 @@ from __future__ import annotations
 from ..formats import HybridMatrix
 from ..gpusim import DeviceSpec, RTX_3090, TESLA_A30, TESLA_V100
 from .diagnostics import ERROR, INFO, SEVERITIES, WARNING, Diagnostic, Report
-from .fixtures import ADVERSARIAL_PLANS
-from .lint import default_lint_root, lint_paths, lint_source
+from .fixtures import ADVERSARIAL_PLANS, procsafety_fixture_files
+from .lint import default_lint_root, iter_python_files, lint_paths, lint_source
+from .procsafety import procsafety_paths, procsafety_source
 from .schedule import (
     MERGE_ATOMIC,
     MERGE_NONE,
@@ -47,10 +51,14 @@ __all__ = [
     "check_plan",
     "check_shipped_kernels",
     "default_check_matrix",
+    "iter_python_files",
     "lint_paths",
     "lint_source",
     "plan_errors",
     "plan_for_kernel",
+    "procsafety_fixture_files",
+    "procsafety_paths",
+    "procsafety_source",
     "run_all",
 ]
 
@@ -96,15 +104,26 @@ def run_all(
     *,
     plans: bool = True,
     lint: bool = True,
+    procsafety: bool = True,
 ) -> Report:
-    """Run both analysis layers; the combined report gates CI."""
+    """Run the enabled analysis layers; the combined report gates CI.
+
+    When both source layers run over the same files, the lint layer
+    owns the malformed-waiver audit so each bad waiver is reported
+    exactly once.
+    """
     report = Report()
     if plans:
         plan_report = check_shipped_kernels()
         report.extend(plan_report.diagnostics)
         report.plans_checked = plan_report.plans_checked
+    roots = paths or [default_lint_root()]
     if lint:
-        diags, nfiles = lint_paths(paths or [default_lint_root()])
+        diags, nfiles = lint_paths(roots)
         report.extend(diags)
         report.files_linted = nfiles
+    if procsafety:
+        diags, nfiles = procsafety_paths(roots, audit_unknown=not lint)
+        report.extend(diags)
+        report.files_scanned = nfiles
     return report

@@ -1,9 +1,17 @@
 """CLI: ``python -m repro.analysis [--json] [--fixture NAME] [paths...]``.
 
-Default run checks every shipped kernel config's plan and lints
-``src/repro``; exits nonzero on any error-severity diagnostic.  With
-``--fixture`` it checks one seeded adversarial plan instead — those must
-always fail, which CI uses as the checker's negative control.
+Default run checks every shipped kernel config's plan, lints
+``src/repro`` and runs the procsafety concurrency/lifecycle analyzer
+over it; exits nonzero on any error-severity diagnostic.  Mode flags:
+
+* ``--procsafety`` — run *only* the procsafety layer (the CI
+  negative-control loop runs this over each adversarial fixture, which
+  must exit nonzero, and over ``src/repro``, which must exit 0);
+* ``--no-plans`` / ``--no-lint`` / ``--no-procsafety`` — skip a layer;
+* ``--fixture NAME`` — check one seeded adversarial kernel plan instead
+  (must always fail);
+* ``--list-waivers`` — print every ``# lint: allow(...)`` waiver in the
+  analyzed tree (path, line, rule, justification) and exit 0.
 """
 
 from __future__ import annotations
@@ -11,18 +19,44 @@ from __future__ import annotations
 import argparse
 import sys
 
-from . import ADVERSARIAL_PLANS, Report, check_plan, run_all
+from . import (
+    ADVERSARIAL_PLANS,
+    Report,
+    check_plan,
+    default_lint_root,
+    iter_python_files,
+    procsafety_paths,
+    run_all,
+)
+from .waivers import collect_waivers
+
+
+def _list_waivers(paths: list[str]) -> int:
+    files = iter_python_files(paths)
+    total = 0
+    for f in files:
+        with open(f, encoding="utf-8") as fh:
+            waivers = collect_waivers(fh.read(), path=f)
+        for w in waivers:
+            total += 1
+            reason = w.reason or "<no justification>"
+            print(f"{f}:{w.line}: allow({w.rule}) — {reason}")
+    print(f"{total} waivers in {len(files)} files")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="Static schedule checker + determinism linter.",
+        description=(
+            "Static schedule checker + determinism linter + "
+            "concurrency/lifecycle analyzer."
+        ),
     )
     parser.add_argument(
         "paths",
         nargs="*",
-        help="files/directories to lint (default: the repro source tree)",
+        help="files/directories to analyze (default: the repro source tree)",
     )
     parser.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
@@ -34,6 +68,16 @@ def main(argv: list[str] | None = None) -> int:
         "--no-lint", action="store_true", help="skip the linter layer"
     )
     parser.add_argument(
+        "--no-procsafety",
+        action="store_true",
+        help="skip the concurrency/lifecycle layer",
+    )
+    parser.add_argument(
+        "--procsafety",
+        action="store_true",
+        help="run only the concurrency/lifecycle layer",
+    )
+    parser.add_argument(
         "--show-info",
         action="store_true",
         help="include info-severity diagnostics (wave reports) in text output",
@@ -43,17 +87,33 @@ def main(argv: list[str] | None = None) -> int:
         choices=sorted(ADVERSARIAL_PLANS),
         help="check one seeded adversarial plan (must exit nonzero)",
     )
+    parser.add_argument(
+        "--list-waivers",
+        action="store_true",
+        help="list every lint waiver in the analyzed tree and exit",
+    )
     args = parser.parse_args(argv)
+
+    if args.list_waivers:
+        return _list_waivers(args.paths or [default_lint_root()])
 
     if args.fixture:
         report = Report()
         report.extend(check_plan(ADVERSARIAL_PLANS[args.fixture]()))
         report.plans_checked = 1
+    elif args.procsafety:
+        report = Report()
+        diags, nfiles = procsafety_paths(
+            args.paths or [default_lint_root()], audit_unknown=True
+        )
+        report.extend(diags)
+        report.files_scanned = nfiles
     else:
         report = run_all(
             args.paths or None,
             plans=not args.no_plans,
             lint=not args.no_lint,
+            procsafety=not args.no_procsafety,
         )
 
     if args.json:

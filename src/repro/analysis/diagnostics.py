@@ -70,6 +70,8 @@ class Report:
     plans_checked: int = 0
     #: Number of source files the linter examined.
     files_linted: int = 0
+    #: Number of source files the procsafety analyzer examined.
+    files_scanned: int = 0
 
     def extend(self, diags: list[Diagnostic]) -> None:
         self.diagnostics.extend(diags)
@@ -97,7 +99,8 @@ class Report:
         c = self.counts()
         return (
             f"{self.plans_checked} plans checked, {self.files_linted} files "
-            f"linted: {c[ERROR]} errors, {c[WARNING]} warnings, "
+            f"linted, {self.files_scanned} files safety-scanned: "
+            f"{c[ERROR]} errors, {c[WARNING]} warnings, "
             f"{c[INFO]} info"
         )
 
@@ -117,6 +120,7 @@ class Report:
                 "counts": self.counts(),
                 "plans_checked": self.plans_checked,
                 "files_linted": self.files_linted,
+                "files_scanned": self.files_scanned,
                 "exit_code": self.exit_code,
             },
             indent=2,

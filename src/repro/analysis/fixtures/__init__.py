@@ -1,19 +1,28 @@
-"""Seeded adversarial plans — known-bad schedules the checker must flag.
+"""Adversarial fixtures — known-bad inputs every analysis layer must flag.
 
-Each fixture is a hand-built :class:`~repro.analysis.schedule.KernelPlan`
-seeded with a deterministic matrix, exhibiting exactly one scheduling
-bug.  They serve two purposes: regression tests assert the checker
-raises the *right* rule id for each, and ``python -m repro.analysis
---fixture <name>`` must exit nonzero on every one of them (the CI gate's
-negative control — a checker that passes everything is worthless).
+Two corpora live here:
+
+* **plans** — hand-built :class:`~repro.analysis.schedule.KernelPlan`
+  objects, each exhibiting exactly one scheduling bug
+  (:data:`ADVERSARIAL_PLANS`, exercised via ``--fixture <name>``);
+* **source files** — modules under ``procsafety/`` each statically
+  violating one concurrency/lifecycle rule family, exercised via
+  ``python -m repro.analysis --procsafety <file>``
+  (:func:`procsafety_fixture_files`).
+
+Both serve the same two purposes: regression tests assert the analyzers
+raise the *right* rule id for each, and CI requires a nonzero exit on
+every one of them (the gate's negative control — a checker that passes
+everything is worthless).  Directory walks of the analyzers skip this
+package, so the corpus never pollutes a clean-tree run.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..gpusim import LaunchConfig, TESLA_V100
-from .schedule import MERGE_ATOMIC, MERGE_NONE, KernelPlan
+from ...gpusim import LaunchConfig, TESLA_V100
+from ..schedule import MERGE_ATOMIC, MERGE_NONE, KernelPlan
 
 #: Deterministic row stream: 48 nnz over rows 0..11, row-sorted, with
 #: row boundaries that do NOT align with 8-element slices.
@@ -92,3 +101,31 @@ ADVERSARIAL_PLANS = {
     "race": race_plan,
     "occupancy": occupancy_plan,
 }
+
+
+# ----------------------------------------------------------------------
+# Procsafety source-code fixtures (negative controls for layer 3)
+# ----------------------------------------------------------------------
+
+def procsafety_fixture_dir() -> str:
+    """Directory of the adversarial source-code fixtures."""
+    import os
+
+    return os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "procsafety")
+
+
+def procsafety_fixture_files() -> list[str]:
+    """Sorted paths of the procsafety bad-code corpus.
+
+    Each file statically violates exactly one rule family and MUST make
+    ``python -m repro.analysis --procsafety <file>`` exit nonzero — the
+    CI negative-control loop and ``tests/test_procsafety.py`` both
+    iterate this list.
+    """
+    import os
+
+    d = procsafety_fixture_dir()
+    return sorted(
+        os.path.join(d, f) for f in os.listdir(d) if f.endswith(".py")
+    )

@@ -1,0 +1,13 @@
+"""Adversarial fixture: ``procsafety/env-drift``.
+
+Reads a ``REPRO_*`` variable that is not declared in
+``repro.config.registry.ENV_VARS`` — exactly the scattered-knob drift
+the registry exists to prevent.  Never imported; analyzed statically by
+the CI negative-control loop.
+"""
+
+import os
+
+
+def scratch_dir():
+    return os.environ.get("REPRO_SCRATCH_DIR", "/tmp/repro-scratch")

@@ -1,0 +1,24 @@
+"""Adversarial fixture: ``procsafety/module-lock-with-fork``.
+
+A module-level lock in a module that forks workers: every child gets a
+copy of the lock in whatever state the fork caught it.  Never imported;
+analyzed statically by the CI negative-control loop.
+"""
+
+import multiprocessing
+import threading
+
+_REGISTRY_LOCK = threading.Lock()
+_REGISTRY: dict = {}
+
+
+def register(name, value):
+    with _REGISTRY_LOCK:
+        _REGISTRY[name] = value
+
+
+def spawn_worker(target):
+    ctx = multiprocessing.get_context("fork")
+    proc = ctx.Process(target=target, daemon=True)
+    proc.start()
+    return proc

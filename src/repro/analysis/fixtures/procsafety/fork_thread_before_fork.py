@@ -1,0 +1,19 @@
+"""Adversarial fixture: ``procsafety/thread-before-fork``.
+
+A thread is started and *then* fork-context workers are spawned from the
+same function — the children inherit whatever locks the thread holds at
+fork time, frozen forever.  Never imported; analyzed statically by the
+CI negative-control loop.
+"""
+
+import multiprocessing
+import threading
+
+
+def serve_forever(handler):
+    pump = threading.Thread(target=handler, daemon=True)
+    pump.start()
+    ctx = multiprocessing.get_context("fork")
+    worker = ctx.Process(target=handler, daemon=True)
+    worker.start()
+    return pump, worker

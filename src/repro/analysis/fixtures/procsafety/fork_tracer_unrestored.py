@@ -1,0 +1,14 @@
+"""Adversarial fixture: ``procsafety/tracer-not-restored``.
+
+``set_tracer`` installs process-global tracer state and the function
+returns without restoring the previous tracer — spans from unrelated
+work land on this timeline.  Never imported; analyzed statically by the
+CI negative-control loop.
+"""
+
+from repro.obs.tracer import Tracer, set_tracer
+
+
+def trace_one(fn, item, t0_ns):
+    set_tracer(Tracer(t0_ns=t0_ns))
+    return fn(item)

@@ -1,0 +1,21 @@
+"""Adversarial fixture: ``procsafety/blocking-under-lock``.
+
+File-system calls made while holding the registry lock — every other
+thread stalls for the duration of the I/O.  Never imported; analyzed
+statically by the CI negative-control loop.
+"""
+
+import os
+import threading
+
+
+class SegmentRegistry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.paths = {}
+
+    def evict(self, name):
+        with self._lock:
+            path = self.paths.pop(name, None)
+            if path is not None:
+                os.remove(path)

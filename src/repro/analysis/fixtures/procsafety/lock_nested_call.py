@@ -1,0 +1,25 @@
+"""Adversarial fixture: ``procsafety/nested-lock-call``.
+
+``drain`` calls a sibling method while holding the queue lock; the
+sibling takes the stats lock — invisible lock nesting, the way
+lock-order cycles are born.  Never imported; analyzed statically by the
+CI negative-control loop.
+"""
+
+import threading
+
+
+class Draining:
+    def __init__(self):
+        self._queue_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self.pending = []
+
+    def drain(self):
+        with self._queue_lock:
+            while self.pending:
+                self._account(self.pending.pop())
+
+    def _account(self, item):
+        with self._stats_lock:
+            self.completed = getattr(self, "completed", 0) + 1

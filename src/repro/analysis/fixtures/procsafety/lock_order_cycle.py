@@ -1,0 +1,28 @@
+"""Adversarial fixture: ``procsafety/lock-order-cycle``.
+
+Two locks acquired in both orders on different paths — thread one in
+``push`` and thread two in ``snapshot`` deadlock ABBA-style.  Never
+imported; analyzed statically by the CI negative-control loop.
+"""
+
+import threading
+
+
+class DualCounter:
+    def __init__(self):
+        self._queue_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self.items = []
+        self.stats = {}
+
+    def push(self, item):
+        with self._queue_lock:
+            self.items.append(item)
+            with self._stats_lock:
+                self.stats["pushed"] = self.stats.get("pushed", 0) + 1
+
+    def snapshot(self):
+        with self._stats_lock:
+            stats = dict(self.stats)
+            with self._queue_lock:
+                return stats, list(self.items)

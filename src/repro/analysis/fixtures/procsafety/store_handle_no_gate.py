@@ -1,0 +1,12 @@
+"""Adversarial fixture: ``procsafety/handle-without-gate``.
+
+A matrix is published to the shared store without consulting the
+executor's ``ships_work`` gate — for an inline executor the handle never
+crosses a process boundary, so the publish is pure overhead.  Never
+imported; analyzed statically by the CI negative-control loop.
+"""
+
+
+def dispatch(store, matrix, executor, evaluate):
+    handle = store.publish(matrix)
+    return executor.map(evaluate, [handle])

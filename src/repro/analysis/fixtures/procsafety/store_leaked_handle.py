@@ -1,0 +1,18 @@
+"""Adversarial fixture: ``procsafety/leaked-resource-on-error``.
+
+The file is opened inside a ``try`` whose next statement can raise, and
+the handler re-raises without closing it — the descriptor leaks on every
+failed attach.  Never imported; analyzed statically by the CI
+negative-control loop.
+"""
+
+import mmap
+
+
+def attach_segment(path):
+    try:
+        f = open(path, "rb")
+        mm = mmap.mmap(f.fileno(), 0, access=mmap.ACCESS_READ)
+    except OSError as exc:
+        raise RuntimeError(f"cannot attach segment {path!r}") from exc
+    return f, mm

@@ -1,0 +1,14 @@
+"""Adversarial fixture: ``procsafety/publish-without-cleanup``.
+
+Shared-memory segments are created and never unlinked anywhere in the
+module — they outlive the process and fill ``/dev/shm``.  Never
+imported; analyzed statically by the CI negative-control loop.
+"""
+
+from multiprocessing import shared_memory
+
+
+def publish_segment(name, payload):
+    shm = shared_memory.SharedMemory(create=True, size=len(payload), name=name)
+    shm.buf[: len(payload)] = payload
+    return shm

@@ -1,0 +1,16 @@
+"""Adversarial fixture: ``procsafety/write-readonly-view``.
+
+The view is marked read-only *before* it is filled — the assignment
+raises ``ValueError`` at runtime (exactly what a consumer writing into
+an attached segment view would hit).  Never imported; analyzed
+statically by the CI negative-control loop.
+"""
+
+import numpy as np
+
+
+def build_view(buf, count):
+    view = np.frombuffer(buf, dtype=np.float32, count=count)
+    view.setflags(write=False)
+    view[:] = 0.0
+    return view

@@ -1,0 +1,13 @@
+"""Adversarial fixture: ``waiver/bad``.
+
+The waiver names a rule id that does not exist, so it suppresses
+nothing while looking like an approved exception.  Never imported;
+analyzed statically by the CI negative-control loop.
+"""
+
+
+def checksum(values):
+    total = 0.0  # lint: allow(float-accumulate) not a real rule id
+    for v in values:
+        total += v
+    return total

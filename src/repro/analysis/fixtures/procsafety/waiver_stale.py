@@ -1,0 +1,10 @@
+"""Adversarial fixture: ``waiver/stale``.
+
+A well-formed waiver for a rule that no longer fires on its line — the
+excuse outlived the code it excused and must be deleted.  Never
+imported; analyzed statically by the CI negative-control loop.
+"""
+
+
+def identity(x):
+    return x  # lint: allow(env-drift) nothing here reads the environment

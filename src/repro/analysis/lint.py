@@ -27,16 +27,18 @@ A line can waive one rule with a trailing justification comment::
 
     t0 = time.perf_counter()  # lint: allow(wallclock) measured host pass
 
-Waivers without a rule name are invalid and do not suppress anything.
+Waiver parsing and auditing live in :mod:`repro.analysis.waivers`: a
+waiver must name a known rule and carry a reason, and a waiver that
+suppresses nothing is itself a ``waiver/stale`` error.
 """
 
 from __future__ import annotations
 
 import ast
 import os
-import re
 
 from .diagnostics import ERROR, Diagnostic
+from .waivers import LINT_RULES, WaiverSet, collect_waivers
 
 #: Legacy np.random functions that read/mutate the hidden global state.
 _LEGACY_RNG = {
@@ -49,9 +51,14 @@ _LEGACY_RNG = {
 #: Constructors that are fine *with* a seed, banned bare.
 _SEEDED_CTORS = {"default_rng", "RandomState", "Generator", "SeedSequence"}
 
-#: Wall-clock sources (module attr -> attribute names).
+#: Wall-clock sources (module attr -> attribute names), including the
+#: integer-nanosecond variants (the stale-waiver audit caught waivers on
+#: ``perf_counter_ns`` lines this table used to miss).
 _WALLCLOCK_ATTRS = {
-    "time": {"time", "perf_counter", "monotonic", "process_time", "clock"},
+    "time": {
+        "time", "perf_counter", "monotonic", "process_time", "clock",
+        "time_ns", "perf_counter_ns", "monotonic_ns", "process_time_ns",
+    },
     "datetime": {"now", "utcnow", "today"},
 }
 
@@ -60,8 +67,6 @@ _REDUCTIONS = {"sum", "mean", "cumsum", "nansum", "nanmean", "dot", "trace"}
 
 #: Iteration sinks that materialize set order.
 _ORDER_SINKS = {"list", "tuple", "enumerate", "iter", "reversed"}
-
-_WAIVER_RE = re.compile(r"#\s*lint:\s*allow\(([a-z0-9-]+)\)")
 
 
 def _attr_chain(node: ast.AST) -> list[str]:
@@ -103,7 +108,7 @@ def _is_float32(node: ast.AST) -> bool:
 
 
 class _Visitor(ast.NodeVisitor):
-    def __init__(self, path: str, waivers: dict[int, set[str]]):
+    def __init__(self, path: str, waivers: WaiverSet):
         self.path = path
         self.waivers = waivers
         self.diags: list[Diagnostic] = []
@@ -111,7 +116,7 @@ class _Visitor(ast.NodeVisitor):
     def _report(self, node: ast.AST, rule: str, message: str, hint: str) -> None:
         line = getattr(node, "lineno", 0)
         short = rule.split("/", 1)[1]
-        if short in self.waivers.get(line, set()):
+        if self.waivers.suppresses(line, short):
             return
         self.diags.append(
             Diagnostic(
@@ -226,16 +231,15 @@ class _Visitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-def _collect_waivers(source: str) -> dict[int, set[str]]:
-    waivers: dict[int, set[str]] = {}
-    for i, line in enumerate(source.splitlines(), start=1):
-        for m in _WAIVER_RE.finditer(line):
-            waivers.setdefault(i, set()).add(m.group(1))
-    return waivers
+def lint_source(
+    source: str, path: str = "<string>", *, audit_waivers: bool = True
+) -> list[Diagnostic]:
+    """Lint one module's source text; returns its diagnostics.
 
-
-def lint_source(source: str, path: str = "<string>") -> list[Diagnostic]:
-    """Lint one module's source text; returns its diagnostics."""
+    ``audit_waivers`` additionally reports malformed (``waiver/bad``)
+    and no-longer-suppressing (``waiver/stale``) waivers of the lint
+    rule family.
+    """
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
@@ -248,19 +252,36 @@ def lint_source(source: str, path: str = "<string>") -> list[Diagnostic]:
                 location=f"line {exc.lineno}",
             )
         ]
-    visitor = _Visitor(path, _collect_waivers(source))
+    waivers = collect_waivers(source, path)
+    visitor = _Visitor(path, waivers)
     visitor.visit(tree)
-    visitor.diags.sort(key=lambda d: int(d.location.split()[-1] or 0))
-    return visitor.diags
+    diags = visitor.diags
+    if audit_waivers:
+        diags.extend(waivers.audit(LINT_RULES, audit_unknown=True))
+    diags.sort(key=lambda d: int(d.location.split()[-1] or 0))
+    return diags
 
 
 def iter_python_files(paths: list[str]) -> list[str]:
-    """Expand files/directories into a sorted list of .py files."""
+    """Expand files/directories into a sorted list of .py files.
+
+    Directory walks skip ``__pycache__`` and the analyzer's own
+    adversarial-fixture corpus (``analysis/fixtures``) — fixture files
+    violate the rules *by construction* and are only analyzed when
+    passed explicitly (the CI negative-control loop does exactly that).
+    """
     out: list[str] = []
     for p in paths:
         if os.path.isdir(p):
             for root, dirs, files in os.walk(p):
-                dirs[:] = sorted(d for d in dirs if d != "__pycache__")
+                dirs[:] = sorted(
+                    d for d in dirs
+                    if d != "__pycache__"
+                    and not (
+                        d == "fixtures"
+                        and os.path.basename(root) == "analysis"
+                    )
+                )
                 out.extend(
                     os.path.join(root, f)
                     for f in sorted(files)

@@ -9,11 +9,11 @@ at runtime (paper Section IV-B2).
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..config import env_int
 from ..gpusim import DeviceSpec, TESLA_V100
 from ..graphs import build_sampling_dataset, load_graph
 from .runner import (
@@ -38,7 +38,7 @@ DEFAULT_PARENTS: tuple[str, ...] = (
 
 def default_subgraph_count() -> int:
     """Subgraphs to sample; REPRO_SUBGRAPHS=838 reproduces the full set."""
-    return int(os.environ.get("REPRO_SUBGRAPHS", 96))
+    return env_int("REPRO_SUBGRAPHS", 96)
 
 
 @dataclass

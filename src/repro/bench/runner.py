@@ -24,6 +24,7 @@ from ..engine import (
     PoolExecutor,
     plan_checking_enabled,  # noqa: F401
 )
+from ..config import env_str
 from ..formats import HybridMatrix
 from ..gpusim import DeviceSpec, TESLA_V100
 from ..obs import METRICS, trace_span, write_manifest
@@ -185,7 +186,7 @@ def sweep_sddmm(
 
 def results_dir() -> str:
     """Directory where experiment reports are written."""
-    base = os.environ.get("REPRO_RESULTS_DIR") or os.path.join(
+    base = env_str("REPRO_RESULTS_DIR") or os.path.join(
         os.path.dirname(os.path.dirname(os.path.dirname(
             os.path.dirname(os.path.abspath(__file__))
         ))),

@@ -1,0 +1,36 @@
+"""``repro.config`` — the declarative ``REPRO_*`` environment registry.
+
+See :mod:`repro.config.registry` for the variable declarations, the
+checked ``env_str`` / ``env_int`` / ``env_flag`` readers, and the
+README table generator (``python -m repro.config``).
+"""
+
+from __future__ import annotations
+
+from .registry import (
+    ENV_VARS,
+    SUBSYSTEMS,
+    EnvVar,
+    declared,
+    env_flag,
+    env_int,
+    env_str,
+    readme_block_in_sync,
+    render_markdown_table,
+    render_readme_block,
+    update_readme,
+)
+
+__all__ = [
+    "ENV_VARS",
+    "SUBSYSTEMS",
+    "EnvVar",
+    "declared",
+    "env_flag",
+    "env_int",
+    "env_str",
+    "readme_block_in_sync",
+    "render_markdown_table",
+    "render_readme_block",
+    "update_readme",
+]

@@ -1,0 +1,83 @@
+"""CLI: render, check, or update the generated README env-var table.
+
+Usage::
+
+    python -m repro.config                   # print the markdown table
+    python -m repro.config --check README.md # exit 1 when out of sync
+    python -m repro.config --update README.md
+
+Exit codes follow the analysis-gate convention: 0 = in sync (or
+printed), 1 = drift detected by ``--check``, 2 = configuration error
+(missing file or markers).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .registry import (
+    readme_block_in_sync,
+    render_markdown_table,
+    update_readme,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.config",
+        description="REPRO_* env-var registry: render/check the README table.",
+    )
+    parser.add_argument(
+        "--check", metavar="README",
+        help="verify README's generated table matches the registry",
+    )
+    parser.add_argument(
+        "--update", metavar="README",
+        help="rewrite README's generated table in place",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check:
+        try:
+            with open(args.check, encoding="utf-8") as f:
+                text = f.read()
+        except OSError as exc:
+            print(f"error: cannot read {args.check!r}: {exc}", file=sys.stderr)
+            return 2
+        if readme_block_in_sync(text):
+            print(f"{args.check}: env-var table is in sync")
+            return 0
+        print(
+            f"{args.check}: env-var table is stale; run "
+            f"`python -m repro.config --update {args.check}`",
+            file=sys.stderr,
+        )
+        return 1
+
+    if args.update:
+        try:
+            with open(args.update, encoding="utf-8") as f:
+                text = f.read()
+        except OSError as exc:
+            print(f"error: cannot read {args.update!r}: {exc}", file=sys.stderr)
+            return 2
+        try:
+            fresh = update_readme(text)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if fresh != text:
+            with open(args.update, "w", encoding="utf-8") as f:
+                f.write(fresh)
+            print(f"{args.update}: env-var table updated")
+        else:
+            print(f"{args.update}: env-var table already in sync")
+        return 0
+
+    print(render_markdown_table())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,11 +31,11 @@ Environment handling (``REPRO_NO_PLAN_CHECK``,
 
 from __future__ import annotations
 
-import os
 import time
 from dataclasses import dataclass, field
 
 from ..analysis import ERROR, check_plan, plan_for_kernel
+from ..config import env_flag
 from ..formats import HybridMatrix
 from ..gpusim import DeviceSpec, KernelStats, get_device
 from ..graphs import load_graph
@@ -59,7 +59,7 @@ class PlanCheckError(RuntimeError):
 
 def plan_checking_enabled() -> bool:
     """Env default for plan checking: on unless ``REPRO_NO_PLAN_CHECK=1``."""
-    return os.environ.get("REPRO_NO_PLAN_CHECK", "").strip() in ("", "0")
+    return not env_flag("REPRO_NO_PLAN_CHECK")
 
 
 def estimate_caching_enabled() -> bool:

@@ -107,6 +107,9 @@ def _shard_worker_loop(inbox, outbox) -> None:
             return
         seq, fn, item, t0_ns = msg
         spans: list = []
+        # Bound before the try: if the accounting in the finally below
+        # itself raises, the error reply must still be constructible.
+        delta: dict = {}
         # Store counters accumulate in the worker's own process; ship
         # the per-item delta back so the parent's snapshot (and run
         # manifests) account for the sharing actually happening.

@@ -15,6 +15,7 @@ from functools import lru_cache
 
 import numpy as np
 
+from ..config import env_int, env_str
 from ..formats import HybridMatrix
 from ..store import shared_matrix
 from .generators import community_graph
@@ -122,12 +123,12 @@ FULL_GRAPH_ORDER: tuple[str, ...] = tuple(FULL_GRAPH_SPECS)
 
 def max_edges_limit() -> int:
     """Edge cap for scaled generation (REPRO_MAX_EDGES overrides)."""
-    return int(os.environ.get("REPRO_MAX_EDGES", DEFAULT_MAX_EDGES))
+    return env_int("REPRO_MAX_EDGES", DEFAULT_MAX_EDGES)
 
 
 def _cache_dir() -> str:
     """On-disk cache for generated graphs (generation is seconds-scale)."""
-    base = os.environ.get("REPRO_CACHE_DIR") or os.path.join(
+    base = env_str("REPRO_CACHE_DIR") or os.path.join(
         os.path.expanduser("~"), ".cache", "repro-graphs"
     )
     os.makedirs(base, exist_ok=True)

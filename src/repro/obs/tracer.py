@@ -35,6 +35,8 @@ import time
 from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 
+from ..config import env_str
+
 #: Track name -> synthetic pid for the trace file.
 HOST_TRACK = "host"
 SIM_TRACK = "sim-gpu"
@@ -208,7 +210,7 @@ DEFAULT_TRACE_PATH = "repro-trace.json"
 
 
 def _env_trace_path() -> str | None:
-    raw = os.environ.get("REPRO_TRACE", "").strip()
+    raw = env_str("REPRO_TRACE")
     if raw in ("", "0"):
         return None
     if raw == "1":

@@ -31,6 +31,7 @@ import os
 from collections import OrderedDict
 from dataclasses import asdict, dataclass
 
+from ..config import env_flag, env_str
 from ..gpusim import CostParams, DeviceSpec, KernelStats
 from ..obs import trace_span
 from .fingerprint import (
@@ -215,13 +216,12 @@ _GLOBAL_CACHE: EstimateCache | None = None
 
 def cache_enabled() -> bool:
     """False when ``REPRO_NO_ESTIMATE_CACHE`` opts out (read per call)."""
-    flag = os.environ.get("REPRO_NO_ESTIMATE_CACHE", "").strip()
-    return flag in ("", "0")
+    return not env_flag("REPRO_NO_ESTIMATE_CACHE")
 
 
 def _resolve_cache_size() -> int:
     """``REPRO_ESTIMATE_CACHE_SIZE`` as a validated positive integer."""
-    raw = os.environ.get("REPRO_ESTIMATE_CACHE_SIZE", "").strip()
+    raw = env_str("REPRO_ESTIMATE_CACHE_SIZE")
     if not raw:
         return 4096
     try:
@@ -249,7 +249,7 @@ def get_estimate_cache() -> EstimateCache:
     unified :func:`repro.obs.metrics.snapshot` reads them).
     """
     global _GLOBAL_CACHE
-    disk_dir = os.environ.get("REPRO_ESTIMATE_CACHE_DIR") or None
+    disk_dir = env_str("REPRO_ESTIMATE_CACHE_DIR") or None
     size = _resolve_cache_size()
     if (
         _GLOBAL_CACHE is None

@@ -39,6 +39,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from ..config import env_str
 from ..obs import METRICS, trace_span
 from ..obs.tracer import Tracer, get_tracer, set_tracer
 
@@ -58,7 +59,7 @@ _POOL_SETUP_FAILURES = (OSError, PermissionError, ValueError, ImportError)
 
 def resolve_jobs(num_items: int | None = None) -> int:
     """Worker count from ``REPRO_JOBS``, clamped to the item count."""
-    raw = os.environ.get("REPRO_JOBS", "1").strip().lower()
+    raw = env_str("REPRO_JOBS", "1").lower()
     if raw in ("", "0", "auto"):
         jobs = os.cpu_count() or 1
     else:

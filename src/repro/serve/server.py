@@ -184,18 +184,23 @@ class EstimationServer:
     def stop(self, drain: bool = True) -> None:
         """Stop the worker; with ``drain`` (default) queued requests are
         answered first, otherwise they resolve as errors."""
+        dropped: list[_Pending] = []
         with self._cond:
             self._stopping = True
             if not drain:
                 while self._queue:
-                    p = self._queue.popleft()
-                    self._resolve(
-                        p, EstimateResponse(
-                            request=p.request, status=STATUS_ERROR,
-                            error="server stopped before processing",
-                        ),
-                    )
+                    dropped.append(self._queue.popleft())
             self._cond.notify_all()
+        # Resolution takes _stats_lock and fires metrics/tracer hooks;
+        # doing that while _cond is held nests locks invisibly, so the
+        # dropped requests are answered only after _cond is released.
+        for p in dropped:
+            self._resolve(
+                p, EstimateResponse(
+                    request=p.request, status=STATUS_ERROR,
+                    error="server stopped before processing",
+                ),
+            )
         if self._worker is not None:
             self._worker.join()
             self._worker = None

@@ -149,7 +149,7 @@ def _drive_open(server, requests, rate_hz: float, seed: int) -> list:
     tickets = []
     for req in requests:
         tickets.append(server.submit(req))
-        time.sleep(rng.expovariate(rate_hz))  # lint: allow(wallclock) open-loop arrival pacing
+        time.sleep(rng.expovariate(rate_hz))
     return [t.result() for t in tickets]
 
 

@@ -64,6 +64,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..config import env_flag, env_str
 from ..formats import HybridMatrix
 from ..obs import trace_span
 from ..perf.fingerprint import matrix_fingerprint, register_fingerprint
@@ -92,12 +93,11 @@ class StoreAttachError(StoreError):
 
 def store_enabled() -> bool:
     """False when ``REPRO_NO_SHARED_STORE`` opts out (read per call)."""
-    flag = os.environ.get("REPRO_NO_SHARED_STORE", "").strip()
-    return flag in ("", "0")
+    return not env_flag("REPRO_NO_SHARED_STORE")
 
 
 def _resolve_backend() -> str:
-    raw = os.environ.get("REPRO_STORE_BACKEND", "").strip().lower()
+    raw = env_str("REPRO_STORE_BACKEND").lower()
     if not raw:
         return BACKEND_SHM
     if raw not in _VALID_BACKENDS:
@@ -110,7 +110,7 @@ def _resolve_backend() -> str:
 
 def _resolve_store_dir() -> str:
     """Directory for mmap-backend files (shared by forked workers)."""
-    return os.environ.get("REPRO_STORE_DIR") or os.path.join(
+    return env_str("REPRO_STORE_DIR") or os.path.join(
         tempfile.gettempdir(), f"repro-store-{os.getpid()}"
     )
 
@@ -290,14 +290,17 @@ class SharedGraphStore:
             seg = _Segment(handle, owner, buf, matrix, payload)
         with self._lock:
             raced = self._segments.get(fp)
-            if raced is not None:  # concurrent publish: keep the first
-                seg.unlink()
-                self.publish_hits += 1
-                return raced.handle
-            self._segments[fp] = seg
-            self.publishes += 1
-            self.bytes_shared += payload
-        return handle
+            if raced is None:
+                self._segments[fp] = seg
+                self.publishes += 1
+                self.bytes_shared += payload
+                return handle
+            self.publish_hits += 1
+        # Concurrent publish: keep the first copy.  The loser's unlink
+        # touches /dev/shm or the filesystem, so it runs after the lock
+        # is released rather than stalling every other store caller.
+        seg.unlink()
+        return raced.handle
 
     def shared_matrix(self, S: HybridMatrix) -> HybridMatrix:
         """``S`` re-backed by its shared segment (published on demand).
@@ -343,8 +346,12 @@ class SharedGraphStore:
         os.makedirs(directory, exist_ok=True)
         path = os.path.join(directory, f"rstore_{os.getpid()}_{seq}.bin")
         f = open(path, "w+b")
-        f.truncate(total)
-        mm = mmap.mmap(f.fileno(), total)
+        try:
+            f.truncate(total)
+            mm = mmap.mmap(f.fileno(), total)
+        except OSError:
+            f.close()
+            raise
         return (f, mm), mm, path
 
     # -- attaching ------------------------------------------------------
@@ -401,8 +408,16 @@ class SharedGraphStore:
             return shm, buf
         try:
             f = open(handle.name, "rb")
-            mm = mmap.mmap(f.fileno(), 0, access=mmap.ACCESS_READ)
         except OSError as exc:
+            raise StoreAttachError(
+                f"cannot attach mmap segment {handle.name!r}: {exc}"
+            ) from exc
+        try:
+            # ValueError covers a zero-length backing file (truncated by
+            # a crashed publisher): mmap refuses an empty map.
+            mm = mmap.mmap(f.fileno(), 0, access=mmap.ACCESS_READ)
+        except (OSError, ValueError) as exc:
+            f.close()
             raise StoreAttachError(
                 f"cannot attach mmap segment {handle.name!r}: {exc}"
             ) from exc

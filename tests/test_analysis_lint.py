@@ -69,7 +69,9 @@ def test_waiver_for_wrong_rule_does_not_suppress():
         "import time\n"
         "t = time.time()  # lint: allow(set-iteration) wrong rule\n"
     )
-    assert _rules(src) == ["lint/wallclock"]
+    # The violation survives, and the waiver itself is flagged stale —
+    # it names a real lint rule but suppresses nothing.
+    assert sorted(_rules(src)) == ["lint/wallclock", "waiver/stale"]
 
 
 def test_waiver_only_covers_its_own_line():

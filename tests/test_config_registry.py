@@ -1,0 +1,162 @@
+"""The REPRO_* env-var registry: declarations, readers, README sync."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.config import (
+    ENV_VARS,
+    SUBSYSTEMS,
+    EnvVar,
+    declared,
+    env_flag,
+    env_int,
+    env_str,
+    readme_block_in_sync,
+    render_markdown_table,
+    render_readme_block,
+    update_readme,
+)
+from repro.config.registry import TABLE_BEGIN, TABLE_END
+
+pytestmark = pytest.mark.analysis
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_README = os.path.join(_ROOT, "README.md")
+
+
+# -- declarations ---------------------------------------------------------
+
+def test_every_declaration_is_well_formed():
+    assert len(ENV_VARS) >= 14
+    for name, var in ENV_VARS.items():
+        assert name == var.name
+        assert name.startswith("REPRO_")
+        assert var.subsystem in SUBSYSTEMS
+        assert var.description
+
+
+def test_invalid_declarations_rejected():
+    with pytest.raises(ValueError):
+        EnvVar("NOT_REPRO", "int", "1", "perf", "x")
+    with pytest.raises(ValueError):
+        EnvVar("REPRO_X", "float", "1", "perf", "x")
+    with pytest.raises(ValueError):
+        EnvVar("REPRO_X", "int", "1", "nope", "x")
+
+
+def test_declared():
+    assert declared("REPRO_JOBS")
+    assert not declared("REPRO_BOGUS_KNOB")
+
+
+# -- checked readers ------------------------------------------------------
+
+def test_env_str_reads_and_strips(monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE", "  /tmp/t.json ")
+    assert env_str("REPRO_TRACE") == "/tmp/t.json"
+    monkeypatch.delenv("REPRO_TRACE")
+    assert env_str("REPRO_TRACE") == ""
+    assert env_str("REPRO_TRACE", "fallback") == "fallback"
+
+
+def test_env_int_parses_and_defaults(monkeypatch):
+    monkeypatch.setenv("REPRO_MAX_EDGES", "123")
+    assert env_int("REPRO_MAX_EDGES", 7) == 123
+    monkeypatch.setenv("REPRO_MAX_EDGES", "")
+    assert env_int("REPRO_MAX_EDGES", 7) == 7
+    monkeypatch.setenv("REPRO_MAX_EDGES", "many")
+    with pytest.raises(ValueError, match="REPRO_MAX_EDGES"):
+        env_int("REPRO_MAX_EDGES", 7)
+
+
+def test_env_flag_convention(monkeypatch):
+    for off in (None, "", "0", " 0 "):
+        if off is None:
+            monkeypatch.delenv("REPRO_NO_PLAN_CHECK", raising=False)
+        else:
+            monkeypatch.setenv("REPRO_NO_PLAN_CHECK", off)
+        assert env_flag("REPRO_NO_PLAN_CHECK") is False
+    monkeypatch.setenv("REPRO_NO_PLAN_CHECK", "1")
+    assert env_flag("REPRO_NO_PLAN_CHECK") is True
+
+
+def test_undeclared_name_refused_by_every_reader():
+    for reader in (
+        lambda: env_str("REPRO_BOGUS_KNOB"),
+        lambda: env_int("REPRO_BOGUS_KNOB", 1),
+        lambda: env_flag("REPRO_BOGUS_KNOB"),
+    ):
+        with pytest.raises(KeyError, match="REPRO_BOGUS_KNOB"):
+            reader()
+
+
+# -- README table generation ----------------------------------------------
+
+def test_table_lists_every_variable_once():
+    rows = render_markdown_table().splitlines()
+    for name in ENV_VARS:
+        assert sum(r.startswith(f"| `{name}` |") for r in rows) == 1
+
+
+def test_update_readme_requires_markers():
+    with pytest.raises(ValueError):
+        update_readme("no markers here\n")
+
+
+def test_update_readme_roundtrip():
+    doc = f"intro\n\n{TABLE_BEGIN}\nstale\n{TABLE_END}\n\noutro\n"
+    fresh = update_readme(doc)
+    assert readme_block_in_sync(fresh)
+    assert fresh.startswith("intro")
+    assert fresh.endswith("outro\n")
+    assert "stale" not in fresh
+    assert render_readme_block() in fresh
+    # Updating an in-sync document is the identity.
+    assert update_readme(fresh) == fresh
+
+
+def test_committed_readme_is_in_sync():
+    """The CI invariant: the README table matches the registry."""
+    with open(_README, encoding="utf-8") as f:
+        assert readme_block_in_sync(f.read())
+
+
+# -- CLI exit codes -------------------------------------------------------
+
+def _run_config(*args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(_ROOT, "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.config", *args],
+        capture_output=True, text=True, env=env,
+    )
+
+
+def test_cli_prints_table():
+    proc = _run_config()
+    assert proc.returncode == 0
+    assert "`REPRO_JOBS`" in proc.stdout
+
+
+def test_cli_check_exit_codes(tmp_path):
+    assert _run_config("--check", _README).returncode == 0
+
+    stale = tmp_path / "stale.md"
+    stale.write_text(f"{TABLE_BEGIN}\nold\n{TABLE_END}\n")
+    assert _run_config("--check", str(stale)).returncode == 1
+
+    assert _run_config("--check", str(tmp_path / "absent.md")).returncode == 2
+
+
+def test_cli_update_exit_codes(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text(f"{TABLE_BEGIN}\nold\n{TABLE_END}\n")
+    assert _run_config("--update", str(doc)).returncode == 0
+    assert readme_block_in_sync(doc.read_text())
+
+    no_markers = tmp_path / "plain.md"
+    no_markers.write_text("nothing\n")
+    assert _run_config("--update", str(no_markers)).returncode == 2

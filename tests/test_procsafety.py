@@ -1,0 +1,281 @@
+"""Layer-3 concurrency/lifecycle analyzer: per-rule behavior + invariants.
+
+Every rule family gets a positive (the adversarial fixture corpus, each
+file violating exactly one rule) and an idiomatic negative it must leave
+alone.  The final tests pin the two repo invariants CI gates on:
+``src/repro`` scans clean, and every fixture still trips.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis import (
+    default_lint_root,
+    procsafety_fixture_files,
+    procsafety_paths,
+    procsafety_source,
+)
+from repro.analysis.lint import LINT_RULES as _LINT_RULES_EXPORTED
+from repro.analysis.waivers import (
+    KNOWN_RULES,
+    LINT_RULES,
+    PROCSAFETY_RULES,
+    collect_waivers,
+)
+
+pytestmark = pytest.mark.analysis
+
+
+def _rules(source, **kw):
+    return [d.rule for d in procsafety_source(source, **kw)]
+
+
+# -- the adversarial corpus: one fixture per rule family ------------------
+
+#: fixture basename -> the single rule it must (and may only) trigger.
+EXPECTED_FIXTURE_RULES = {
+    "fork_thread_before_fork.py": "procsafety/thread-before-fork",
+    "fork_module_lock.py": "procsafety/module-lock-with-fork",
+    "fork_tracer_unrestored.py": "procsafety/tracer-not-restored",
+    "store_leaked_handle.py": "procsafety/leaked-resource-on-error",
+    "store_write_readonly.py": "procsafety/write-readonly-view",
+    "store_publish_no_cleanup.py": "procsafety/publish-without-cleanup",
+    "store_handle_no_gate.py": "procsafety/handle-without-gate",
+    "lock_order_cycle.py": "procsafety/lock-order-cycle",
+    "lock_nested_call.py": "procsafety/nested-lock-call",
+    "lock_blocking_call.py": "procsafety/blocking-under-lock",
+    "env_undeclared.py": "procsafety/env-drift",
+    "waiver_bad.py": "waiver/bad",
+    "waiver_stale.py": "waiver/stale",
+}
+
+
+def test_fixture_corpus_is_complete():
+    names = sorted(os.path.basename(p) for p in procsafety_fixture_files())
+    assert names == sorted(EXPECTED_FIXTURE_RULES)
+
+
+@pytest.mark.parametrize(
+    "path", procsafety_fixture_files(), ids=os.path.basename
+)
+def test_each_fixture_flags_exactly_its_rule(path):
+    with open(path, encoding="utf-8") as fh:
+        diags = procsafety_source(fh.read(), path=path)
+    expected = EXPECTED_FIXTURE_RULES[os.path.basename(path)]
+    assert {d.rule for d in diags} == {expected}, [d.render() for d in diags]
+    assert all(d.severity == "error" for d in diags)
+    assert all(d.hint for d in diags), "every procsafety rule carries a hint"
+
+
+def test_fixtures_are_import_safe():
+    """Fixtures are data, not live hazards: importing them is a no-op."""
+    import importlib
+
+    for path in procsafety_fixture_files():
+        name = os.path.basename(path)[:-3]
+        importlib.import_module(f"repro.analysis.fixtures.procsafety.{name}")
+
+
+# -- negatives: idiomatic spellings each family must leave alone ----------
+
+def test_single_lock_discipline_is_clean():
+    src = (
+        "import threading\n"
+        "class Counter:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self.n = 0\n"
+        "    def bump(self):\n"
+        "        with self._lock:\n"
+        "            self.n += 1\n"
+        "        print(self.n)\n"
+    )
+    assert _rules(src) == []
+
+
+def test_consistent_two_lock_order_is_clean():
+    src = (
+        "import threading\n"
+        "class Pair:\n"
+        "    def __init__(self):\n"
+        "        self._a = threading.Lock()\n"
+        "        self._b = threading.Lock()\n"
+        "    def one(self):\n"
+        "        with self._a:\n"
+        "            with self._b:\n"
+        "                pass\n"
+        "    def two(self):\n"
+        "        with self._a:\n"
+        "            with self._b:\n"
+        "                pass\n"
+    )
+    assert _rules(src) == []
+
+
+def test_blocking_call_outside_lock_is_clean():
+    src = (
+        "import os\n"
+        "import threading\n"
+        "class Registry:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self.paths = []\n"
+        "    def drop(self, path):\n"
+        "        with self._lock:\n"
+        "            self.paths.remove(path)\n"
+        "        os.remove(path)\n"
+    )
+    assert _rules(src) == []
+
+
+def test_declared_env_reads_are_clean():
+    src = (
+        "import os\n"
+        "def jobs():\n"
+        "    return os.environ.get('REPRO_JOBS', '1')\n"
+        "def trace():\n"
+        "    return os.getenv('REPRO_TRACE', '')\n"
+    )
+    assert _rules(src) == []
+
+
+def test_undeclared_env_read_flagged_through_every_accessor():
+    for read in (
+        "os.environ['REPRO_BOGUS_KNOB']",
+        "os.environ.get('REPRO_BOGUS_KNOB', '')",
+        "os.getenv('REPRO_BOGUS_KNOB')",
+    ):
+        src = f"import os\ndef f():\n    return {read}\n"
+        assert _rules(src) == ["procsafety/env-drift"], read
+
+
+def test_checked_helper_with_undeclared_name_flagged():
+    src = (
+        "from repro.config import env_str\n"
+        "def f():\n"
+        "    return env_str('REPRO_BOGUS_KNOB')\n"
+    )
+    assert _rules(src) == ["procsafety/env-drift"]
+
+
+def test_tracer_set_and_restored_is_clean():
+    src = (
+        "from repro.obs.tracer import Tracer, get_tracer, set_tracer\n"
+        "def worker(t0_ns):\n"
+        "    prev = get_tracer()\n"
+        "    set_tracer(Tracer(t0_ns=t0_ns))\n"
+        "    try:\n"
+        "        run()\n"
+        "    finally:\n"
+        "        set_tracer(prev)\n"
+    )
+    assert _rules(src) == []
+
+
+def test_open_as_last_statement_of_try_is_clean():
+    src = (
+        "def attach(path):\n"
+        "    try:\n"
+        "        f = open(path, 'rb')\n"
+        "    except OSError:\n"
+        "        raise RuntimeError(path)\n"
+        "    return f\n"
+    )
+    assert _rules(src) == []
+
+
+def test_leaked_handle_closed_in_handler_is_clean():
+    src = (
+        "import mmap\n"
+        "def attach(path):\n"
+        "    try:\n"
+        "        f = open(path, 'rb')\n"
+        "        mm = mmap.mmap(f.fileno(), 0)\n"
+        "    except OSError:\n"
+        "        f.close()\n"
+        "        raise\n"
+        "    return f, mm\n"
+    )
+    assert _rules(src) == []
+
+
+def test_publish_gated_on_ships_work_is_clean():
+    src = (
+        "def plan(self, store, matrix):\n"
+        "    if getattr(self.executor, 'ships_work', False):\n"
+        "        return store.publish(matrix)\n"
+        "    return matrix\n"
+    )
+    assert _rules(src) == []
+
+
+def test_syntax_error_reported_not_raised():
+    assert _rules("def broken(:\n") == ["procsafety/syntax"]
+
+
+# -- waiver mechanics -----------------------------------------------------
+
+def test_justified_waiver_suppresses_and_is_not_stale():
+    src = (
+        "import os\n"
+        "def f():\n"
+        "    return os.getenv('REPRO_BOGUS_KNOB')"
+        "  # lint: allow(env-drift) negative-control knob\n"
+    )
+    assert _rules(src) == []
+
+
+def test_waiver_missing_reason_is_bad_and_does_not_suppress():
+    src = (
+        "import os\n"
+        "def f():\n"
+        "    return os.getenv('REPRO_BOGUS_KNOB')  # lint: allow(env-drift)\n"
+    )
+    assert sorted(_rules(src)) == ["procsafety/env-drift", "waiver/bad"]
+
+
+def test_waiver_for_unknown_rule_is_bad():
+    src = "x = 1  # lint: allow(not-a-rule) because reasons\n"
+    assert _rules(src) == ["waiver/bad"]
+    # ... unless the caller says the lint layer already reported it.
+    assert _rules(src, audit_unknown=False) == []
+
+
+def test_waiver_in_docstring_is_documentation_not_a_waiver():
+    src = (
+        '"""Example: waive with ``# lint: allow(env-drift) why``."""\n'
+        "x = 1\n"
+    )
+    assert list(collect_waivers(src, "<doc>")) == []
+    assert _rules(src) == []
+
+
+def test_rule_registries_are_consistent():
+    assert LINT_RULES is _LINT_RULES_EXPORTED
+    assert KNOWN_RULES == LINT_RULES | PROCSAFETY_RULES
+    assert not (LINT_RULES & PROCSAFETY_RULES)
+    shorts = {
+        rule.split("/", 1)[1]
+        for rule in EXPECTED_FIXTURE_RULES.values()
+        if rule.startswith("procsafety/")
+    }
+    assert shorts == PROCSAFETY_RULES
+
+
+# -- repo invariants ------------------------------------------------------
+
+def test_repo_source_tree_scans_clean():
+    """The CI invariant: src/repro has zero procsafety findings."""
+    diags, nfiles = procsafety_paths([default_lint_root()])
+    assert nfiles > 50
+    assert diags == [], "\n".join(d.render() for d in diags)
+
+
+def test_fixture_corpus_excluded_from_tree_walks():
+    diags, nfiles = procsafety_paths([default_lint_root()])
+    fixture_names = {os.path.basename(p) for p in procsafety_fixture_files()}
+    assert fixture_names, "corpus must not be empty"
+    assert not any(
+        os.path.basename(d.subject) in fixture_names for d in diags
+    )

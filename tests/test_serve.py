@@ -236,6 +236,23 @@ def test_submit_after_stop_raises():
         server.submit(req())
 
 
+def test_stop_without_drain_answers_queued_requests():
+    """Dropped pendings resolve as errors, never hang their callers.
+
+    Regression for the nested-lock finding: ``stop(drain=False)`` used
+    to resolve dropped requests while still holding ``_cond``, taking
+    ``_stats_lock`` (and firing tracer hooks) inside it.  The answers
+    must still arrive — now after ``_cond`` is released.
+    """
+    server = EstimationServer()
+    tickets = [server.submit(req(k=k)) for k in (32, 64)]
+    server.stop(drain=False)
+    for t in tickets:
+        resp = t.result(WAIT_S)
+        assert resp.status == STATUS_ERROR
+        assert "stopped before processing" in resp.error
+
+
 # ----------------------------------------------------------------------
 # Observability wiring
 # ----------------------------------------------------------------------

@@ -216,6 +216,27 @@ def test_fingerprint_mismatch_is_rejected():
         SharedGraphStore(backend=handle.backend).attach(forged)
 
 
+def test_truncated_backing_file_is_rejected_cleanly(tmp_path, monkeypatch):
+    """A zero-length mmap file surfaces as StoreAttachError, not ValueError.
+
+    Regression: ``mmap.mmap`` raises ``ValueError`` (not ``OSError``) on
+    an empty backing file, which used to escape the attach-error
+    contract — and leak the descriptor — instead of letting callers
+    degrade to the pickle path.
+    """
+    monkeypatch.setenv("REPRO_STORE_BACKEND", "mmap")
+    monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path))
+    S = random_hybrid(60, 60, 250, seed=70)
+    store = SharedGraphStore()
+    handle = store.publish(S)
+    # A crashed publisher can leave the file truncated to zero bytes.
+    with open(handle.name, "w+b"):
+        pass
+    with pytest.raises(StoreAttachError):
+        SharedGraphStore().attach(handle)
+    store.shutdown()
+
+
 def test_sharded_attach_failure_falls_back_to_parent_copy():
     """A worker losing the segment degrades, with identical results."""
     S = random_hybrid(110, 110, 800, seed=69)
@@ -328,3 +349,37 @@ def test_probe_cache_clears_on_stop():
     with executor:
         executor.map(str, [2])
     assert METRICS.get("engine.shard_probes") == 2
+
+
+def test_worker_loop_replies_even_when_accounting_raises(monkeypatch):
+    """A failure inside the counter-delta accounting still yields a reply.
+
+    Regression: ``delta`` was first bound inside the ``finally`` that
+    computes it, so if ``store_counters()`` raised there the error-reply
+    constructor hit ``NameError`` and the worker loop died silently,
+    wedging the parent's result collection.
+    """
+    import queue
+
+    from repro.engine import executors as executors_mod
+
+    calls = {"n": 0}
+
+    def flaky_counters():
+        calls["n"] += 1
+        if calls["n"] > 1:  # the post-item read in the finally
+            raise RuntimeError("accounting boom")
+        return {"attaches": 0, "attach_hits": 0, "fallbacks": 0}
+
+    monkeypatch.setattr(executors_mod, "store_counters", flaky_counters)
+    inbox: queue.Queue = queue.Queue()
+    outbox: queue.Queue = queue.Queue()
+    inbox.put((0, lambda x: x * 2, 21, None))
+    inbox.put(None)  # _STOP sentinel
+    executors_mod._shard_worker_loop(inbox, outbox)
+
+    seq, status, payload, spans, pid, delta = outbox.get_nowait()
+    assert (seq, status) == (0, "error")
+    assert isinstance(payload, RuntimeError)
+    assert "accounting boom" in str(payload)
+    assert delta == {}
