@@ -128,6 +128,29 @@ ENV_VARS: dict[str, EnvVar] = {
             "`1` = trace to `repro-trace.json`; any other non-empty value "
             "= trace to that path",
         ),
+        # -- serve -------------------------------------------------------
+        EnvVar(
+            "REPRO_SERVE_HOST", TYPE_STR, "127.0.0.1", "serve",
+            "bind/connect address for the socket front end",
+        ),
+        EnvVar(
+            "REPRO_SERVE_PORT", TYPE_INT, "0", "serve",
+            "socket front-end TCP port (`0` = OS-assigned ephemeral)",
+        ),
+        EnvVar(
+            "REPRO_SERVE_QUEUE_HIGH", TYPE_INT, "512", "serve",
+            "queue-depth watermark above which the front end load-sheds "
+            "(`STATUS_SHED` + retry hint) instead of enqueueing",
+        ),
+        EnvVar(
+            "REPRO_SERVE_ACCEPT_BACKLOG", TYPE_INT, "128", "serve",
+            "TCP accept backlog for the socket front end's listener",
+        ),
+        EnvVar(
+            "REPRO_SERVE_MAX_FRAME", TYPE_INT, "8388608", "serve",
+            "largest accepted wire frame in bytes (guards the length "
+            "prefix against garbage/hostile peers)",
+        ),
         # -- tests -------------------------------------------------------
         EnvVar(
             "REPRO_NO_DURATION_BUDGET", TYPE_FLAG, "off", "tests",

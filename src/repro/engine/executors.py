@@ -154,14 +154,25 @@ class ShardedExecutor:
     process/queue creation, ``map`` falls back to the inline loop and
     counts ``engine.shard_fallbacks`` — results are identical either
     way.
+
+    ``affinity`` pins items to shards: a callable taking one work item
+    and returning a shard key (any int — reduced modulo the pool size)
+    or ``None`` to fall back to round-robin for that item.  The serve
+    tier passes :meth:`repro.serve.ShardRouter.shard_of_unit` so every
+    batch touching a graph lands on the worker that owns that graph's
+    estimate cache and cost priors.  Determinism is unaffected: the
+    executor only places work; results return in item order regardless.
     """
 
     ships_work = True
 
-    def __init__(self, workers: int | None = None) -> None:
+    def __init__(
+        self, workers: int | None = None, *, affinity=None
+    ) -> None:
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self._requested = workers
+        self._affinity = affinity
         self._procs: list = []
         self._inboxes: list = []
         self._outbox = None
@@ -272,11 +283,25 @@ class ShardedExecutor:
         with trace_span(
             "sharded_map", cat="engine", workers=n, items=len(seq_items)
         ):
-            # Round-robin on the batch-global sequence number, so a
-            # serving process issuing many single-unit batches still
-            # spreads them across the worker pool.
+            # Placement: the affinity hook pins an item to its owning
+            # shard; items it declines (None, or a hook failure) fall
+            # back to round-robin on the batch-global sequence number,
+            # so a serving process issuing many single-unit batches
+            # still spreads unpinned work across the worker pool.
             for i, item in enumerate(seq_items):
-                self._inboxes[(base + i) % n].put((base + i, fn, item, t0_ns))
+                target = None
+                if self._affinity is not None:
+                    try:
+                        key = self._affinity(item)
+                    except Exception:
+                        key = None
+                        METRICS.inc("engine.shard_affinity_errors")
+                    if key is not None:
+                        target = int(key) % n
+                        METRICS.inc("engine.shard_affinity_hits")
+                if target is None:
+                    target = (base + i) % n
+                self._inboxes[target].put((base + i, fn, item, t0_ns))
             replies: dict[int, tuple] = {}
             for _ in seq_items:
                 seq, status, payload, spans, pid, delta = self._outbox.get()

@@ -20,7 +20,12 @@ Counter names are dotted, ``subsystem.event``:
 * ``gpusim.trace_replays`` / ``gpusim.profile_reports`` — validation
   tooling usage;
 * ``serve.*`` — estimation-serving layer accounting (requests, batches,
-  coalescing, degraded/timeout responses; see :mod:`repro.serve`);
+  coalescing, degraded/timeout responses, ``serve.worker_crashes``;
+  see :mod:`repro.serve`), plus the socket front end's connection and
+  admission counters (``serve.conn_opened`` / ``serve.conn_closed`` /
+  ``serve.conn_active_max``, ``serve.net_requests`` /
+  ``serve.net_responses``, ``serve.shed``, ``serve.protocol_errors``)
+  and its ``serve.conn_lifetime`` histogram;
 * ``estimate_cache.*`` — merged in at snapshot time from
   :func:`repro.perf.estimate_cache.estimate_cache_stats`;
 * ``store.*`` — shared graph/matrix store accounting (publishes,

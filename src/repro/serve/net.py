@@ -1,0 +1,710 @@
+"""Socket front end for the estimation server.
+
+Wire format: length-prefixed JSON frames over TCP — a 4-byte big-endian
+payload length followed by a UTF-8 JSON object.  Frame ``type``s:
+
+===========  ======================================================
+``req``      client -> server: one request (``id``, ``request``)
+``reqs``     client -> server: an atomic multi-request submission
+             (``ids``, ``requests``); the whole list enters the
+             server queue under one lock hold, so it micro-batches
+             exactly like the same list replayed in-process
+``resp``     server -> client: one answer (``id``, ``response``),
+             **streamed as its micro-batch resolves** — a long replay
+             sees results flow back batch by batch, not in one burst
+             when the connection drains
+``stats``    client -> server -> client: server counters, the
+             ``serve.request_latency`` summary and live queue depth
+``ping`` /   liveness probe (CI readiness checks)
+``pong``
+``error``    server -> client: the connection's frames stopped making
+             sense (oversized frame, bad JSON, unknown type); the
+             connection closes after this frame
+===========  ======================================================
+
+Backpressure: the front end never blocks the batching worker.  Each
+connection owns a writer thread draining an unbounded outbound queue;
+``_Pending.on_done`` callbacks only enqueue.  Admission is bounded by a
+queue-depth watermark (``REPRO_SERVE_QUEUE_HIGH``): a submission that
+would push the server queue past it is **load-shed** — answered
+immediately with ``STATUS_SHED`` and a Retry-After-style hint scaled
+from the server's predicted per-request cost — instead of growing the
+queue without bound.  :class:`ServeClient` surfaces the hint so clients
+can back off and retry.
+
+Sharding: a :class:`~repro.serve.router.ShardRouter` passed to the
+serve CLI pins every engine work unit to the worker that owns its
+graph's structural fingerprint (``--workers N`` sharded serving), so
+each shard accumulates its own graphs' estimate cache and cost priors.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import socket
+import struct
+import threading
+import time
+
+from ..config import env_int, env_str
+from ..obs import METRICS, get_histogram, get_tracer, observe_latency
+from ..obs.tracer import HOST_TRACK
+from .request import (
+    STATUS_SHED,
+    STATUS_ERROR,
+    EstimateRequest,
+    EstimateResponse,
+    request_from_wire,
+    request_to_wire,
+    response_from_wire,
+    response_to_wire,
+)
+from .server import EstimationServer
+
+_HEADER = struct.Struct(">I")
+
+#: Writer-queue sentinel: flush nothing more, exit the writer thread.
+_CLOSE = object()
+
+
+class ProtocolError(Exception):
+    """The peer sent bytes that are not a valid frame."""
+
+
+def default_host() -> str:
+    return env_str("REPRO_SERVE_HOST", "127.0.0.1") or "127.0.0.1"
+
+
+def default_port() -> int:
+    return env_int("REPRO_SERVE_PORT", 0)
+
+
+def default_max_frame() -> int:
+    return env_int("REPRO_SERVE_MAX_FRAME", 8 * 1024 * 1024)
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+
+def send_frame(sock: socket.socket, payload: dict) -> None:
+    """Write one length-prefixed JSON frame."""
+    body = json.dumps(payload, separators=(",", ":")).encode()
+    sock.sendall(_HEADER.pack(len(body)) + body)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    """Read exactly ``n`` bytes; None on clean EOF at a frame boundary."""
+    chunks: list[bytes] = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(min(65536, n - got))
+        if not chunk:
+            if got == 0:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({got}/{n} bytes)"
+            )
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket, max_frame: int) -> dict | None:
+    """Read one frame; None on clean EOF before a header byte."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > max_frame:
+        raise ProtocolError(
+            f"frame length {length} exceeds max_frame {max_frame}"
+        )
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise ProtocolError("connection closed between header and body")
+    try:
+        frame = json.loads(body)
+    except ValueError as exc:
+        raise ProtocolError(f"frame body is not JSON: {exc}") from None
+    if not isinstance(frame, dict) or "type" not in frame:
+        raise ProtocolError(f"frame must be an object with a type: {frame!r}")
+    return frame
+
+
+# ----------------------------------------------------------------------
+# Server side
+# ----------------------------------------------------------------------
+
+class SocketFrontEnd:
+    """TCP front end streaming :class:`EstimationServer` answers.
+
+    One accept thread plus, per connection, a reader thread (this
+    class's ``_serve_conn``) and a writer thread draining the
+    connection's outbound queue.  Responses are enqueued from the
+    batching worker's ``on_done`` callbacks the moment their
+    micro-batch resolves, so the worker never waits on a socket.
+    """
+
+    def __init__(
+        self,
+        server: EstimationServer,
+        host: str | None = None,
+        port: int | None = None,
+        *,
+        queue_high: int | None = None,
+        accept_backlog: int | None = None,
+        max_frame: int | None = None,
+    ) -> None:
+        self.server = server
+        self.host = default_host() if host is None else host
+        self.port = default_port() if port is None else port
+        self.queue_high = (
+            env_int("REPRO_SERVE_QUEUE_HIGH", 512)
+            if queue_high is None else queue_high
+        )
+        self.accept_backlog = (
+            env_int("REPRO_SERVE_ACCEPT_BACKLOG", 128)
+            if accept_backlog is None else accept_backlog
+        )
+        self.max_frame = (
+            default_max_frame() if max_frame is None else max_frame
+        )
+        if self.queue_high < 1:
+            raise ValueError(f"queue_high must be >= 1, got {self.queue_high}")
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._closing = False
+        self._lock = threading.Lock()      # guards the connection registry
+        self._conns: dict[int, tuple] = {}  # id -> (socket, thread)
+        self._conn_seq = 0
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — port resolved when ``port=0``."""
+        if self._listener is None:
+            raise RuntimeError("front end is not started")
+        addr = self._listener.getsockname()
+        return (addr[0], addr[1])
+
+    def start(self) -> "SocketFrontEnd":
+        if self._listener is not None:
+            return self
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self.host, self.port))
+            listener.listen(self.accept_backlog)
+        except OSError:
+            listener.close()
+            raise
+        self._closing = False
+        self._listener = listener
+        self.server.start()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-serve-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Close the listener and every live connection (idempotent)."""
+        self._closing = True
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            try:
+                # close() alone does not wake a thread blocked in accept()
+                # on Linux; shutdown() does (accept fails with EINVAL).
+                listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            listener.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+            self._accept_thread = None
+        with self._lock:
+            conns = list(self._conns.values())
+            self._conns.clear()
+        for sock, thread in conns:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            sock.close()
+            thread.join(timeout=5)
+
+    def __enter__(self) -> "SocketFrontEnd":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- accept / connection loop ---------------------------------------
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        while not self._closing and listener is not None:
+            try:
+                sock, _addr = listener.accept()
+            except OSError:  # listener closed by stop()
+                return
+            with self._lock:
+                if self._closing:
+                    sock.close()
+                    return
+                self._conn_seq += 1
+                conn_id = self._conn_seq
+                thread = threading.Thread(
+                    target=self._serve_conn, args=(sock, conn_id),
+                    name=f"repro-serve-conn-{conn_id}", daemon=True,
+                )
+                self._conns[conn_id] = (sock, thread)
+            METRICS.inc("serve.conn_opened")
+            METRICS.record_max("serve.conn_active_max", len(self._conns))
+            thread.start()
+
+    def _serve_conn(self, sock: socket.socket, conn_id: int) -> None:
+        opened_mono = time.monotonic()  # lint: allow(wallclock) connection lifetime is a measured surface
+        tracer = get_tracer()
+        opened_us = tracer.now_us() if tracer is not None else 0.0
+        outq: queue.Queue = queue.Queue()
+        writer = threading.Thread(
+            target=self._writer_loop, args=(sock, outq),
+            name=f"repro-serve-writer-{conn_id}", daemon=True,
+        )
+        writer.start()
+        frames = 0
+        try:
+            while not self._closing:
+                frame = recv_frame(sock, self.max_frame)
+                if frame is None:
+                    break
+                frames += 1
+                self._handle_frame(frame, outq)
+        except ProtocolError as exc:
+            METRICS.inc("serve.protocol_errors")
+            outq.put({"type": "error", "error": str(exc)})
+        except OSError:
+            pass  # peer vanished; nothing left to answer
+        finally:
+            outq.put(_CLOSE)
+            writer.join(timeout=5)
+            sock.close()
+            with self._lock:
+                self._conns.pop(conn_id, None)
+            METRICS.inc("serve.conn_closed")
+            lifetime_s = time.monotonic() - opened_mono  # lint: allow(wallclock) connection lifetime is a measured surface
+            observe_latency("serve.conn_lifetime", lifetime_s)
+            if tracer is not None:
+                tracer.emit(
+                    "serve.connection",
+                    ts_us=opened_us,
+                    dur_us=lifetime_s * 1e6,
+                    cat="serve",
+                    track=HOST_TRACK,
+                    conn=conn_id,
+                    frames=frames,
+                )
+
+    def _writer_loop(self, sock: socket.socket, outq: queue.Queue) -> None:
+        while True:
+            frame = outq.get()
+            if frame is _CLOSE:
+                return
+            try:
+                send_frame(sock, frame)
+            except OSError:
+                return  # peer gone; the reader side tears the conn down
+
+    # -- frame dispatch -------------------------------------------------
+    def _handle_frame(self, frame: dict, outq: queue.Queue) -> None:
+        kind = frame["type"]
+        if kind == "ping":
+            outq.put({"type": "pong"})
+            return
+        if kind == "stats":
+            outq.put({
+                "type": "stats",
+                "stats": self.server.stats(),
+                "latency_s": get_histogram("serve.request_latency").summary(),
+                "queue_depth": self.server.queue_depth,
+            })
+            return
+        if kind == "req":
+            ids = [frame.get("id")]
+            payloads = [frame.get("request")]
+            atomic = False
+        elif kind == "reqs":
+            ids = frame.get("ids") or []
+            payloads = frame.get("requests") or []
+            if len(ids) != len(payloads) or not ids:
+                raise ProtocolError(
+                    f"reqs frame needs matching non-empty ids/requests, "
+                    f"got {len(ids)}/{len(payloads)}"
+                )
+            atomic = True
+        else:
+            raise ProtocolError(f"unknown frame type {kind!r}")
+
+        try:
+            requests = [request_from_wire(p) for p in payloads]
+        except ValueError as exc:
+            # A malformed request fails only itself, not the connection.
+            METRICS.inc("serve.net_bad_requests")
+            outq.put({"type": "error", "ids": ids, "error": str(exc)})
+            return
+        METRICS.inc("serve.net_requests", len(requests))
+
+        depth = self.server.queue_depth
+        if depth + len(requests) > self.queue_high:
+            self._shed(ids, requests, depth, outq)
+            return
+        try:
+            if atomic:
+                pendings = self.server.submit_atomic(requests)
+            else:
+                pendings = [self.server.submit(r) for r in requests]
+        except RuntimeError as exc:  # server stopped under us
+            for rid, req in zip(ids, requests):
+                self._enqueue_response(
+                    outq, rid,
+                    EstimateResponse(
+                        request=req, status=STATUS_ERROR, error=str(exc)
+                    ),
+                )
+            return
+        for rid, pending in zip(ids, pendings):
+            pending.on_done(
+                lambda p, _rid=rid: self._enqueue_response(
+                    outq, _rid, p.response
+                )
+            )
+
+    def _shed(
+        self,
+        ids: list,
+        requests: list[EstimateRequest],
+        depth: int,
+        outq: queue.Queue,
+    ) -> None:
+        """Refuse a submission that would breach the queue watermark.
+
+        The retry hint is the predicted time for the queue to drain back
+        under the watermark: excess depth times the server's predicted
+        per-request cost (cost-prior backed, EWMA cold-start).
+        """
+        n = len(requests)
+        self.server.note_shed(n)
+        excess = max(1, depth + n - self.queue_high)
+        retry_after_s = excess * max(
+            self.server.predicted_cost_s(requests[0].graph), 1e-4
+        )
+        for rid, req in zip(ids, requests):
+            self._enqueue_response(
+                outq, rid,
+                EstimateResponse(
+                    request=req, status=STATUS_SHED,
+                    error=(
+                        f"queue depth {depth}+{n} exceeds watermark "
+                        f"{self.queue_high}"
+                    ),
+                    retry_after_s=retry_after_s,
+                ),
+            )
+
+    def _enqueue_response(
+        self, outq: queue.Queue, rid, response: EstimateResponse
+    ) -> None:
+        METRICS.inc("serve.net_responses")
+        outq.put({
+            "type": "resp", "id": rid,
+            "response": response_to_wire(response),
+        })
+
+
+# ----------------------------------------------------------------------
+# Client side
+# ----------------------------------------------------------------------
+
+class _RemoteTicket:
+    """Client-side mirror of a server pending: one in-flight request."""
+
+    __slots__ = ("request", "submit_mono", "latency_s", "event", "response",
+                 "failure")
+
+    def __init__(self, request: EstimateRequest) -> None:
+        self.request = request
+        self.submit_mono = time.monotonic()  # lint: allow(wallclock) client-observed latency is a measured surface
+        self.latency_s = 0.0
+        self.event = threading.Event()
+        self.response: EstimateResponse | None = None
+        self.failure: Exception | None = None
+
+    def result(self, timeout: float | None = None) -> EstimateResponse:
+        if not self.event.wait(timeout):
+            raise TimeoutError(
+                f"no response within {timeout}s for {self.request}"
+            )
+        if self.failure is not None:
+            raise self.failure
+        assert self.response is not None
+        return self.response
+
+
+class ServeClient:
+    """Blocking client for the socket front end.
+
+    A background reader thread dispatches streamed ``resp`` frames to
+    their tickets, so callers can keep submitting while earlier answers
+    arrive (the open-loop drivers depend on this).  ``retry_for_s``
+    retries the initial connect — CI readiness, where the server
+    process is still binding its port.
+    """
+
+    def __init__(
+        self,
+        host: str | None = None,
+        port: int | None = None,
+        *,
+        retry_for_s: float = 0.0,
+        connect_timeout_s: float = 5.0,
+        max_frame: int | None = None,
+    ) -> None:
+        self.host = default_host() if host is None else host
+        self.port = default_port() if port is None else port
+        self.max_frame = (
+            default_max_frame() if max_frame is None else max_frame
+        )
+        self._sock = self._connect(retry_for_s, connect_timeout_s)
+        self._send_lock = threading.Lock()
+        self._table_lock = threading.Lock()
+        self._tickets: dict[int, _RemoteTicket] = {}
+        self._seq = 0
+        self._stats_frames: queue.Queue = queue.Queue()
+        self._pong_frames: queue.Queue = queue.Queue()
+        self._closed = False
+        self._reader = threading.Thread(
+            target=self._reader_loop, name="repro-serve-client", daemon=True
+        )
+        self._reader.start()
+
+    def _connect(
+        self, retry_for_s: float, connect_timeout_s: float
+    ) -> socket.socket:
+        deadline = time.monotonic() + retry_for_s  # lint: allow(wallclock) connect-retry window against a still-binding server
+        while True:
+            try:
+                return socket.create_connection(
+                    (self.host, self.port), timeout=connect_timeout_s
+                )
+            except OSError:
+                if time.monotonic() >= deadline:  # lint: allow(wallclock) connect-retry window against a still-binding server
+                    raise
+                time.sleep(0.05)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+        self._reader.join(timeout=5)
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- reader ---------------------------------------------------------
+    def _reader_loop(self) -> None:
+        failure: Exception | None = None
+        try:
+            sock = self._sock
+            sock.settimeout(None)
+            while True:
+                frame = recv_frame(sock, self.max_frame)
+                if frame is None:
+                    break
+                kind = frame.get("type")
+                if kind == "resp":
+                    self._dispatch_response(frame)
+                elif kind == "stats":
+                    self._stats_frames.put(frame)
+                elif kind == "pong":
+                    self._pong_frames.put(frame)
+                elif kind == "error":
+                    failure = ProtocolError(
+                        frame.get("error") or "server protocol error"
+                    )
+                    break
+        except (OSError, ProtocolError) as exc:
+            failure = exc if not self._closed else None
+        finally:
+            if failure is None:
+                failure = ConnectionError(
+                    "connection closed with requests outstanding"
+                )
+            with self._table_lock:
+                stranded = list(self._tickets.values())
+                self._tickets.clear()
+            for t in stranded:
+                t.failure = failure
+                t.event.set()
+
+    def _dispatch_response(self, frame: dict) -> None:
+        with self._table_lock:
+            ticket = self._tickets.pop(frame.get("id"), None)
+        if ticket is None:
+            return  # duplicate or unknown id: drop
+        response = response_from_wire(frame["response"])
+        ticket.latency_s = time.monotonic() - ticket.submit_mono  # lint: allow(wallclock) client-observed latency is a measured surface
+        ticket.response = response
+        ticket.event.set()
+
+    # -- submission -----------------------------------------------------
+    def _register(self, requests: list[EstimateRequest]) -> tuple:
+        with self._table_lock:
+            base = self._seq
+            self._seq += len(requests)
+            tickets = [_RemoteTicket(r) for r in requests]
+            for i, t in enumerate(tickets):
+                self._tickets[base + i] = t
+        return base, tickets
+
+    def submit(self, request: EstimateRequest) -> _RemoteTicket:
+        base, (ticket,) = self._register([request])
+        with self._send_lock:
+            send_frame(self._sock, {
+                "type": "req", "id": base,
+                "request": request_to_wire(request),
+            })
+        return ticket
+
+    def submit_atomic(self, requests) -> list[_RemoteTicket]:
+        """Submit a list that micro-batches like an in-process replay."""
+        requests = list(requests)
+        base, tickets = self._register(requests)
+        with self._send_lock:
+            send_frame(self._sock, {
+                "type": "reqs",
+                "ids": list(range(base, base + len(requests))),
+                "requests": [request_to_wire(r) for r in requests],
+            })
+        return tickets
+
+    def estimate(
+        self, request: EstimateRequest, timeout: float | None = None
+    ) -> EstimateResponse:
+        return self.submit(request).result(timeout)
+
+    # -- control frames -------------------------------------------------
+    def stats(self, timeout: float = 10.0) -> dict:
+        """Server stats + latency summary + live queue depth."""
+        with self._send_lock:
+            send_frame(self._sock, {"type": "stats"})
+        frame = self._stats_frames.get(timeout=timeout)
+        return {
+            "stats": frame["stats"],
+            "latency_s": frame["latency_s"],
+            "queue_depth": frame["queue_depth"],
+        }
+
+    def ping(self, timeout: float = 5.0) -> bool:
+        with self._send_lock:
+            send_frame(self._sock, {"type": "ping"})
+        try:
+            self._pong_frames.get(timeout=timeout)
+            return True
+        except queue.Empty:
+            return False
+
+
+# ----------------------------------------------------------------------
+# Remote workload driver
+# ----------------------------------------------------------------------
+
+def _percentile(sorted_values: list[float], pct: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = max(
+        0, min(len(sorted_values) - 1,
+               int(len(sorted_values) * pct / 100.0 + 0.5) - 1)
+    )
+    return sorted_values[rank]
+
+
+def run_workload_remote(
+    spec,
+    host: str | None = None,
+    port: int | None = None,
+    *,
+    retry_for_s: float = 10.0,
+) -> dict:
+    """Drive a workload spec against a remote front end; report dict.
+
+    Same ``repro.serve.report/v1`` schema as the in-process
+    :func:`~repro.serve.workload.run_workload`: the server's stats and
+    latency summary come back over a ``stats`` frame, and a
+    ``client_latency_s`` section adds the client-observed end-to-end
+    numbers (submit -> streamed response, network included).
+    """
+    import random
+
+    from .workload import build_report, generate_requests
+
+    requests = generate_requests(spec)
+    with ServeClient(host, port, retry_for_s=retry_for_s) as client:
+        if spec.mode == "replay":
+            tickets = client.submit_atomic(requests)
+            responses = [t.result(spec.result_timeout_s) for t in tickets]
+        elif spec.mode == "closed":
+            shares = [requests[c::spec.clients] for c in range(spec.clients)]
+            results: list[list] = [[] for _ in range(spec.clients)]
+            tickets = []
+
+            def drive(c: int) -> None:
+                for req in shares[c]:
+                    t = client.submit(req)
+                    tickets.append(t)
+                    results[c].append(t.result(spec.result_timeout_s))
+
+            threads = [
+                threading.Thread(target=drive, args=(c,), name=f"client-{c}")
+                for c in range(spec.clients) if shares[c]
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            responses = [None] * len(requests)
+            for c, share in enumerate(results):
+                responses[c::spec.clients] = share
+        else:  # open loop
+            rng = random.Random(spec.seed + 1)
+            tickets = []
+            for i, req in enumerate(requests):
+                tickets.append(client.submit(req))
+                if i + 1 < len(requests):  # no trailing inter-arrival gap
+                    time.sleep(rng.expovariate(spec.arrival_rate_hz))
+            responses = [t.result(spec.result_timeout_s) for t in tickets]
+        remote = client.stats()
+
+    report = build_report(
+        spec, None, responses,
+        stats=remote["stats"], latency=remote["latency_s"],
+    )
+    lat = sorted(t.latency_s for t in tickets)
+    report["client_latency_s"] = {
+        "count": len(lat),
+        "p50": _percentile(lat, 50),
+        "p95": _percentile(lat, 95),
+        "p99": _percentile(lat, 99),
+        "max": lat[-1] if lat else 0.0,
+    }
+    return report

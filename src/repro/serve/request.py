@@ -14,11 +14,17 @@ Two derived keys drive the server's batching:
   same structural fingerprint.
 * :attr:`EstimateRequest.signature` — the *full* estimate identity.
   Requests sharing it are answered by a single cost-model evaluation.
+
+Both records travel over the socket front end (:mod:`repro.serve.net`)
+as plain JSON objects; :func:`request_to_wire` /
+:func:`request_from_wire` and the response pair below are the single
+encode/decode points, so the wire schema cannot drift from the
+dataclasses.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from ..engine.bounds import VALID_BOUNDS
 from ..engine.registry import VALID_OPS  # noqa: F401 - re-exported
@@ -27,8 +33,11 @@ from ..engine.registry import VALID_OPS  # noqa: F401 - re-exported
 STATUS_OK = "ok"              #: full cost-model simulation
 STATUS_DEGRADED = "degraded"  #: quick roofline answer (deadline pressure)
 STATUS_TIMEOUT = "timeout"    #: deadline missed, degradation not allowed
+STATUS_SHED = "shed"          #: load-shed by the front end before queueing
 STATUS_ERROR = "error"        #: request could not be evaluated at all
-STATUSES = (STATUS_OK, STATUS_DEGRADED, STATUS_TIMEOUT, STATUS_ERROR)
+STATUSES = (
+    STATUS_OK, STATUS_DEGRADED, STATUS_TIMEOUT, STATUS_SHED, STATUS_ERROR,
+)
 
 
 @dataclass(frozen=True)
@@ -84,6 +93,7 @@ class EstimateResponse:
     queue_wait_s: float = 0.0      #: measured time spent queued
     batch_id: int = -1             #: micro-batch that served this request
     batch_size: int = 0            #: total requests in that batch
+    retry_after_s: float | None = None  #: STATUS_SHED back-off hint
 
     def __post_init__(self) -> None:
         # Schema assertion: every answer's bound label must come from
@@ -115,3 +125,49 @@ class EstimateResponse:
         if self.time_s is None:
             return None
         return self.time_s + self.preprocessing_s
+
+
+# ----------------------------------------------------------------------
+# Wire codec (the socket front end's JSON frame payloads)
+# ----------------------------------------------------------------------
+#
+# JSON round-trips every field exactly: ints stay ints, and Python's
+# float repr/parse is shortest-round-trip, so a response encoded on the
+# server and decoded on the client compares equal — the golden
+# socket-vs-in-process report test depends on this.
+
+def request_to_wire(request: EstimateRequest) -> dict:
+    """``request`` as a plain JSON-ready dict."""
+    return asdict(request)
+
+
+def request_from_wire(payload: dict) -> EstimateRequest:
+    """Decode a request dict; raises ``ValueError`` on a bad payload."""
+    if not isinstance(payload, dict):
+        raise ValueError(f"request payload must be an object, got {payload!r}")
+    try:
+        return EstimateRequest(**payload)
+    except TypeError as exc:  # unknown/missing fields
+        raise ValueError(f"malformed request payload: {exc}") from None
+
+
+def response_to_wire(response: EstimateResponse) -> dict:
+    """``response`` as a plain JSON-ready dict (request nested)."""
+    out = asdict(response)
+    out["request"] = asdict(response.request)
+    return out
+
+
+def response_from_wire(payload: dict) -> EstimateResponse:
+    """Decode a response dict; raises ``ValueError`` on a bad payload."""
+    if not isinstance(payload, dict) or "request" not in payload:
+        raise ValueError(
+            f"response payload must be an object with a request, "
+            f"got {payload!r}"
+        )
+    fields = dict(payload)
+    request = request_from_wire(fields.pop("request"))
+    try:
+        return EstimateResponse(request=request, **fields)
+    except TypeError as exc:
+        raise ValueError(f"malformed response payload: {exc}") from None

@@ -1,0 +1,88 @@
+"""Shard routing: partition graphs across serve workers by structure.
+
+A multi-worker serving tier wants each graph's work landing on the same
+shard every time — that shard's process then owns the graph's
+estimate-cache entries and cost-prior history, so repeat requests hit a
+warm cache instead of re-deriving estimates on whichever worker
+round-robin happened to pick (the same reason DGL's distributed graph
+store partitions node/edge data by graph partition).
+
+:class:`ShardRouter` maps *structural fingerprints*
+(:func:`repro.perf.fingerprint.matrix_fingerprint`) onto ``shards``
+buckets with a stable blake2b hash.  Routing on the fingerprint rather
+than the registry name means two names for the same structure share a
+shard, and the placement is reproducible across processes and runs —
+no coordination, no routing table to synchronize.
+
+:meth:`shard_of_unit` is shaped as a
+:class:`~repro.engine.ShardedExecutor` affinity hook: it takes one
+engine work unit and returns the shard bucket, or ``None`` (fall back
+to round-robin) for units with no resolvable matrix.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+
+from ..perf.fingerprint import matrix_fingerprint
+
+
+class ShardRouter:
+    """Stable fingerprint -> shard-bucket placement for ``shards`` workers."""
+
+    def __init__(self, shards: int) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
+        #: fingerprint -> bucket memo; also the observed routing table.
+        self._table: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def shard_of_fingerprint(self, fingerprint: str) -> int:
+        """The bucket in ``[0, shards)`` this structure belongs to."""
+        with self._lock:
+            bucket = self._table.get(fingerprint)
+        if bucket is not None:
+            return bucket
+        digest = hashlib.blake2b(
+            fingerprint.encode(), digest_size=8
+        ).digest()
+        bucket = int.from_bytes(digest, "big") % self.shards
+        with self._lock:
+            self._table[fingerprint] = bucket
+        return bucket
+
+    def shard_of_matrix(self, S) -> int:
+        """Bucket for a loaded matrix (fingerprinted structurally)."""
+        return self.shard_of_fingerprint(matrix_fingerprint(S))
+
+    def shard_of_graph(self, graph: str, max_edges: int | None = None) -> int:
+        """Bucket for a registry graph, loading it to fingerprint it."""
+        from ..graphs import load_graph
+
+        return self.shard_of_matrix(
+            load_graph(graph, max_edges=max_edges).matrix
+        )
+
+    def shard_of_unit(self, unit) -> int | None:
+        """Affinity hook for :class:`~repro.engine.ShardedExecutor`.
+
+        Routes on the unit's matrix when the parent still holds it (it
+        always does — executors only drop ``S`` when *pickling* a
+        store-shipped unit), else on the store handle's recorded
+        fingerprint; ``None`` when neither is available.
+        """
+        S = getattr(unit, "S", None)
+        if S is not None:
+            return self.shard_of_matrix(S)
+        ref = getattr(unit, "store_ref", None)
+        fp = getattr(ref, "fingerprint", None)
+        if fp is not None:
+            return self.shard_of_fingerprint(fp)
+        return None
+
+    def table(self) -> dict[str, int]:
+        """Snapshot of every placement this router has made."""
+        with self._lock:
+            return dict(self._table)

@@ -61,6 +61,7 @@ from .request import (
     STATUS_DEGRADED,
     STATUS_ERROR,
     STATUS_OK,
+    STATUS_SHED,
     STATUS_TIMEOUT,
     EstimateRequest,
     EstimateResponse,
@@ -73,7 +74,7 @@ class _Pending:
 
     __slots__ = (
         "request", "submit_mono", "collect_mono", "trace_ts_us",
-        "event", "response",
+        "event", "response", "_callbacks", "_cb_lock",
     )
 
     def __init__(
@@ -85,6 +86,8 @@ class _Pending:
         self.trace_ts_us = trace_ts_us
         self.event = threading.Event()
         self.response: EstimateResponse | None = None
+        self._callbacks: list = []
+        self._cb_lock = threading.Lock()
 
     def result(self, timeout: float | None = None) -> EstimateResponse:
         """Block until the server answers; raises ``TimeoutError`` if the
@@ -95,6 +98,28 @@ class _Pending:
             )
         assert self.response is not None
         return self.response
+
+    def on_done(self, fn) -> None:
+        """Register ``fn(pending)`` to run once the server answers.
+
+        Runs immediately when the ticket is already resolved.  Callbacks
+        fire on the batching worker thread, one micro-batch at a time —
+        the socket front end uses them to stream responses out as each
+        batch resolves; keep them non-blocking (enqueue, don't send).
+        """
+        with self._cb_lock:
+            if self.response is None:
+                self._callbacks.append(fn)
+                return
+        fn(self)
+
+    def _finish(self, response: EstimateResponse) -> list:
+        """Install the answer; returns the callbacks to fire (once)."""
+        with self._cb_lock:
+            self.response = response
+            callbacks, self._callbacks = self._callbacks, []
+        self.event.set()
+        return callbacks
 
     @property
     def done(self) -> bool:
@@ -159,22 +184,36 @@ class EstimationServer:
         self._cond = threading.Condition()
         self._worker: threading.Thread | None = None
         self._stopping = False
+        #: Serializes start()/stop() transitions end to end.  Without it
+        #: a stop() racing a start() could join a *new* worker that was
+        #: never told to stop (hanging forever), or leave two workers
+        #: alive; always acquired before _cond, never after.
+        self._lifecycle = threading.Lock()
         self._ewma_full_s = float(initial_full_cost_s)
         self._batch_seq = 0
         self._stats_lock = threading.Lock()
         self._stats: dict[str, int] = {
             "requests": 0, "completed": 0,
             STATUS_OK: 0, STATUS_DEGRADED: 0,
-            STATUS_TIMEOUT: 0, STATUS_ERROR: 0,
+            STATUS_TIMEOUT: 0, STATUS_SHED: 0, STATUS_ERROR: 0,
             "batches": 0, "coalesced": 0, "deduped": 0,
             "queue_depth_max": 0, "batch_size_max": 0,
+            "worker_crashes": 0,
         }
 
     # -- lifecycle ------------------------------------------------------
     def start(self) -> "EstimationServer":
-        """Spawn the batching worker (idempotent)."""
-        if self._worker is None or not self._worker.is_alive():
-            self._stopping = False
+        """Spawn the batching worker (idempotent).
+
+        ``_stopping`` is written under ``_cond``: a bare write raced
+        concurrent ``stop()``/``submit()`` readers, which could observe
+        the flag flip between their check and their wait/append.
+        """
+        with self._lifecycle:
+            if self._worker is not None and self._worker.is_alive():
+                return self
+            with self._cond:
+                self._stopping = False
             self._worker = threading.Thread(
                 target=self._run, name="repro-serve", daemon=True
             )
@@ -185,15 +224,20 @@ class EstimationServer:
         """Stop the worker; with ``drain`` (default) queued requests are
         answered first, otherwise they resolve as errors."""
         dropped: list[_Pending] = []
-        with self._cond:
-            self._stopping = True
-            if not drain:
-                while self._queue:
-                    dropped.append(self._queue.popleft())
-            self._cond.notify_all()
+        with self._lifecycle:
+            with self._cond:
+                self._stopping = True
+                if not drain:
+                    while self._queue:
+                        dropped.append(self._queue.popleft())
+                self._cond.notify_all()
+            if self._worker is not None:
+                self._worker.join()
+                self._worker = None
         # Resolution takes _stats_lock and fires metrics/tracer hooks;
-        # doing that while _cond is held nests locks invisibly, so the
-        # dropped requests are answered only after _cond is released.
+        # doing that while _cond (or the lifecycle lock) is held nests
+        # locks invisibly, so the dropped requests are answered only
+        # after both are released.
         for p in dropped:
             self._resolve(
                 p, EstimateResponse(
@@ -201,15 +245,39 @@ class EstimationServer:
                     error="server stopped before processing",
                 ),
             )
-        if self._worker is not None:
-            self._worker.join()
-            self._worker = None
 
     def __enter__(self) -> "EstimationServer":
         return self.start()
 
     def __exit__(self, *exc) -> None:
         self.stop()
+
+    # -- warmup ---------------------------------------------------------
+    def warm(self, requests) -> int:
+        """Pre-evaluate the unique signatures in ``requests`` through the
+        engine, bypassing the queue entirely.
+
+        Populates the estimate cache (on this executor's workers, for
+        sharded serving) and the per-graph cost priors without touching
+        the ``serve.request_latency`` histogram or the serve counters —
+        a warmed soak then measures steady-state latency instead of
+        first-touch graph loads.  Returns the signature count evaluated.
+        """
+        seen: set = set()
+        engine_requests = []
+        for r in requests:
+            if r.signature in seen:
+                continue
+            seen.add(r.signature)
+            engine_requests.append(
+                EngineRequest(
+                    op=r.op, kernel=r.kernel, graph=r.graph, k=r.k,
+                    device=r.device, max_edges=r.max_edges,
+                )
+            )
+        if engine_requests:
+            self._engine.estimate_batch(engine_requests)
+        return len(engine_requests)
 
     # -- submission -----------------------------------------------------
     def submit(self, request: EstimateRequest) -> _Pending:
@@ -243,6 +311,35 @@ class EstimationServer:
     def submit_many(self, requests) -> list[_Pending]:
         return [self.submit(r) for r in requests]
 
+    def submit_atomic(self, requests) -> list[_Pending]:
+        """Enqueue all ``requests`` under one queue acquisition.
+
+        The worker cannot start collecting a batch until the whole group
+        is appended, so a multi-request frame from the socket front end
+        micro-batches exactly like the same list replayed in-process —
+        the golden socket-vs-in-process report equality depends on this.
+        """
+        tracer = get_tracer()
+        now = time.monotonic()  # lint: allow(wallclock) serving latency is a measured surface
+        ts_us = tracer.now_us() if tracer is not None else 0.0
+        pendings = [_Pending(r, submit_mono=now, trace_ts_us=ts_us)
+                    for r in requests]
+        with self._cond:
+            if self._stopping:
+                raise RuntimeError("server is stopped")
+            self._queue.extend(pendings)
+            depth = len(self._queue)
+            self._cond.notify()
+        n = len(pendings)
+        METRICS.inc("serve.requests", n)
+        METRICS.record_max("serve.queue_depth_max", depth)
+        with self._stats_lock:
+            self._stats["requests"] += n
+            self._stats["queue_depth_max"] = max(
+                self._stats["queue_depth_max"], depth
+            )
+        return pendings
+
     def estimate(
         self, request: EstimateRequest, timeout: float | None = None
     ) -> EstimateResponse:
@@ -251,11 +348,63 @@ class EstimationServer:
 
     # -- worker ---------------------------------------------------------
     def _run(self) -> None:
-        while True:
-            batch = self._collect_batch()
-            if batch is None:
-                return
-            self._process_batch(batch)
+        """Batching loop with a crash guard.
+
+        ``_process_batch`` catches per-group engine failures, but a
+        failure *outside* that try (triage arithmetic, priors lookup,
+        metrics/histogram hooks) used to kill this daemon thread
+        silently — every queued and in-flight ``result()`` then blocked
+        forever.  Any escaped exception now resolves all outstanding
+        pendings as ``STATUS_ERROR`` so callers always get an answer.
+        """
+        batch: list[_Pending] | None = None
+        try:
+            while True:
+                batch = self._collect_batch()
+                if batch is None:
+                    return
+                self._process_batch(batch)
+                batch = None
+        except BaseException as exc:
+            self._fail_after_crash(batch, exc)
+
+    def _fail_after_crash(
+        self, batch: list[_Pending] | None, exc: BaseException
+    ) -> None:
+        """Resolve every outstanding pending after a worker crash.
+
+        Runs on the dying worker thread, so it must not take
+        ``_lifecycle`` — a concurrent ``stop()`` holds that lock while
+        joining this very thread.
+        """
+        METRICS.inc("serve.worker_crashes")
+        with self._stats_lock:
+            self._stats["worker_crashes"] += 1
+        stranded: list[_Pending] = []
+        with self._cond:
+            # The worker is gone: refuse new submissions and wake any
+            # stop() drain-waiters.
+            self._stopping = True
+            while self._queue:
+                stranded.append(self._queue.popleft())
+            self._cond.notify_all()
+        detail = f"serve worker crashed: {type(exc).__name__}: {exc}"
+        for p in [*(batch or []), *stranded]:
+            if p.done:
+                continue
+            resp = EstimateResponse(
+                request=p.request, status=STATUS_ERROR, error=detail
+            )
+            try:
+                self._resolve(p, resp)
+            except Exception:
+                # Even if observability hooks are the thing that is
+                # broken, the caller still gets an answer.
+                for fn in p._finish(resp):
+                    try:
+                        fn(p)
+                    except Exception:
+                        pass
 
     def _collect_batch(self) -> list[_Pending] | None:
         """Assemble the next micro-batch (None = stopped and drained)."""
@@ -458,8 +607,7 @@ class EstimationServer:
         )
 
     def _resolve(self, p: _Pending, response: EstimateResponse) -> None:
-        p.response = response
-        p.event.set()
+        callbacks = p._finish(response)
         observe_latency("serve.request_latency", response.latency_s)
         observe_latency("serve.queue_wait", response.queue_wait_s)
         METRICS.inc("serve.completed")
@@ -482,8 +630,32 @@ class EstimationServer:
                 op=p.request.op,
                 k=p.request.k,
             )
+        for fn in callbacks:
+            try:
+                fn(p)
+            except Exception:
+                # A broken streaming hook (e.g. a connection torn down
+                # mid-batch) must not take the batching worker with it.
+                METRICS.inc("serve.callback_errors")
 
-    # -- introspection --------------------------------------------------
+    # -- admission / introspection --------------------------------------
+    def note_shed(self, n: int = 1) -> None:
+        """Account ``n`` requests load-shed by a front end before they
+        ever reached the queue (they never become pendings)."""
+        METRICS.inc("serve.shed", n)
+        with self._stats_lock:
+            self._stats[STATUS_SHED] += n
+
+    def predicted_cost_s(self, graph: str | None = None) -> float:
+        """Predicted full-path seconds per request — the per-graph cost
+        prior when ``graph`` has history, the cold-start EWMA otherwise.
+        Front ends scale this into a Retry-After-style shed hint."""
+        if graph is not None:
+            prior_s = cost_priors().predict(graph)
+            if prior_s is not None:
+                return prior_s
+        return self._ewma_full_s
+
     @property
     def queue_depth(self) -> int:
         with self._cond:

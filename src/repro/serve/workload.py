@@ -60,12 +60,18 @@ class WorkloadSpec:
     arrival_rate_hz: float = 200.0  #: open-loop mean arrival rate
     max_batch: int = 16
     batch_window_s: float = 0.02
+    #: Caller-side ceiling on each ``result()`` wait.  A dead or wedged
+    #: server fails the run with ``TimeoutError`` instead of hanging the
+    #: driver (and CI) forever.
+    result_timeout_s: float = 120.0
 
     def __post_init__(self) -> None:
         if self.mode not in ("replay", "closed", "open"):
             raise ValueError(f"unknown workload mode {self.mode!r}")
         if self.num_requests <= 0:
             raise ValueError("num_requests must be positive")
+        if self.result_timeout_s <= 0:
+            raise ValueError("result_timeout_s must be positive")
 
 
 #: Named presets the serve CLI exposes (``--workload <name>``).
@@ -83,6 +89,15 @@ WORKLOADS: dict[str, WorkloadSpec] = {
         name="mixed-graphs",
         graphs=("aifb", "corafull", "coauthor-cs", "amazon-photo"),
         num_requests=96, forced_deadline_every=8,
+    ),
+    # Open-loop Poisson arrivals at 10x the smoke-workload rate with a
+    # hard per-request deadline: the CI soak drives this through the
+    # socket front end against a 2-shard server and asserts p99 stays
+    # under deadline_s with zero worker crashes.
+    "soak": WorkloadSpec(
+        name="soak", mode="open", num_requests=400,
+        arrival_rate_hz=2000.0, deadline_s=0.25,
+        forced_deadline_every=0, batch_window_s=0.005,
     ),
 }
 
@@ -112,20 +127,20 @@ def generate_requests(spec: WorkloadSpec) -> list[EstimateRequest]:
     return requests
 
 
-def _drive_replay(server, requests) -> list:
+def _drive_replay(server, requests, timeout_s: float) -> list:
     tickets = server.submit_many(requests)  # queued before the worker runs
     server.start()
-    return [t.result() for t in tickets]
+    return [t.result(timeout_s) for t in tickets]
 
 
-def _drive_closed(server, requests, clients: int) -> list:
+def _drive_closed(server, requests, clients: int, timeout_s: float) -> list:
     server.start()
     shares = [requests[c::clients] for c in range(clients)]
     results: list[list] = [[] for _ in range(clients)]
 
     def client(c: int) -> None:
         for req in shares[c]:
-            results[c].append(server.estimate(req))
+            results[c].append(server.estimate(req, timeout=timeout_s))
 
     threads = [
         threading.Thread(target=client, args=(c,), name=f"client-{c}")
@@ -143,14 +158,20 @@ def _drive_closed(server, requests, clients: int) -> list:
     return out
 
 
-def _drive_open(server, requests, rate_hz: float, seed: int) -> list:
+def _drive_open(
+    server, requests, rate_hz: float, seed: int, timeout_s: float
+) -> list:
     server.start()
     rng = random.Random(seed + 1)
     tickets = []
-    for req in requests:
+    for i, req in enumerate(requests):
         tickets.append(server.submit(req))
-        time.sleep(rng.expovariate(rate_hz))
-    return [t.result() for t in tickets]
+        # No gap after the last submit: a trailing sleep would inflate
+        # the open-loop makespan (and deflate throughput) by one full
+        # inter-arrival time that no request ever occupies.
+        if i + 1 < len(requests):
+            time.sleep(rng.expovariate(rate_hz))
+    return [t.result(timeout_s) for t in tickets]
 
 
 def run_workload(
@@ -172,12 +193,15 @@ def run_workload(
     count_before = hist.count
     try:
         if spec.mode == "replay":
-            responses = _drive_replay(server, requests)
+            responses = _drive_replay(server, requests, spec.result_timeout_s)
         elif spec.mode == "closed":
-            responses = _drive_closed(server, requests, spec.clients)
+            responses = _drive_closed(
+                server, requests, spec.clients, spec.result_timeout_s
+            )
         else:
             responses = _drive_open(
-                server, requests, spec.arrival_rate_hz, spec.seed
+                server, requests, spec.arrival_rate_hz, spec.seed,
+                spec.result_timeout_s,
             )
     finally:
         server.stop()
@@ -186,15 +210,26 @@ def run_workload(
 
 def build_report(
     spec: WorkloadSpec,
-    server: EstimationServer,
+    server: EstimationServer | None,
     responses: list[EstimateResponse],
     hist_count_before: int = 0,
+    *,
+    stats: dict | None = None,
+    latency: dict | None = None,
 ) -> dict:
-    """Assemble the ``repro.serve.report/v1`` payload."""
-    stats = server.stats()
-    hist = get_histogram("serve.request_latency")
-    latency = hist.summary()
-    latency["count"] -= hist_count_before  # this run's share
+    """Assemble the ``repro.serve.report/v1`` payload.
+
+    The in-process path reads ``server.stats()`` and this process's
+    latency histogram; remote clients (:mod:`repro.serve.net`) pass the
+    server's ``stats``/``latency`` fetched over the wire instead.
+    """
+    if stats is None:
+        assert server is not None
+        stats = server.stats()
+    if latency is None:
+        hist = get_histogram("serve.request_latency")
+        latency = hist.summary()
+        latency["count"] -= hist_count_before  # this run's share
     by_status = {s: stats.get(s, 0) for s in STATUSES}
     # Report-schema assertion: every answered bound must come from the
     # engine's canonical vocabulary (belt to EstimateResponse's braces).
@@ -229,6 +264,7 @@ def build_report(
             "deduped": stats["deduped"],
             "queue_depth_max": stats["queue_depth_max"],
             "batch_size_max": stats["batch_size_max"],
+            "worker_crashes": stats.get("worker_crashes", 0),
         },
         "latency_s": latency,
         "responses": answers,

@@ -1,5 +1,7 @@
 """The estimation server: protocol, batching, triage and fallback."""
 
+import threading
+
 import pytest
 
 from repro.gpusim import get_device
@@ -251,6 +253,138 @@ def test_stop_without_drain_answers_queued_requests():
         resp = t.result(WAIT_S)
         assert resp.status == STATUS_ERROR
         assert "stopped before processing" in resp.error
+
+
+# ----------------------------------------------------------------------
+# Worker crash containment and lifecycle churn
+# ----------------------------------------------------------------------
+
+def _crash_batches(server, exc=None):
+    """Make the next ``_process_batch`` blow up outside any inner try."""
+    def boom(batch):
+        raise exc if exc is not None else RuntimeError("injected fault")
+    server._process_batch = boom
+
+
+def test_worker_crash_resolves_all_pendings_instead_of_hanging():
+    """Regression: an exception escaping ``_process_batch`` killed the
+    daemon worker silently and every ``result()`` blocked forever."""
+    server = EstimationServer(max_batch=2)
+    tickets = server.submit_many([req(k=k) for k in (32, 64, 128, 256)])
+    _crash_batches(server)
+    server.start()
+    for t in tickets:
+        resp = t.result(WAIT_S)  # used to hang here
+        assert resp.status == STATUS_ERROR
+        assert "serve worker crashed" in resp.error
+        assert "injected fault" in resp.error
+    assert METRICS.get("serve.worker_crashes") == 1
+    assert server.stats()["worker_crashes"] == 1
+    # The crashed server refuses new work rather than accepting requests
+    # nobody will ever answer.
+    with pytest.raises(RuntimeError):
+        server.submit(req())
+    server.stop()
+
+
+def test_worker_crash_recovery_via_restart():
+    """After a crash, ``start()`` brings up a fresh worker that serves."""
+    server = EstimationServer()
+    _crash_batches(server)
+    t = server.submit(req())
+    server.start()
+    assert t.result(WAIT_S).status == STATUS_ERROR
+    del server._process_batch  # restore the class implementation
+    server.start()
+    assert server.estimate(req(), timeout=WAIT_S).status == STATUS_OK
+    server.stop()
+    assert METRICS.get("serve.worker_crashes") == 1
+
+
+def test_base_exception_in_worker_still_resolves_pendings():
+    server = EstimationServer()
+    _crash_batches(server, exc=KeyboardInterrupt())
+    t = server.submit(req())
+    server.start()
+    resp = t.result(WAIT_S)
+    assert resp.status == STATUS_ERROR
+    assert "KeyboardInterrupt" in resp.error
+    server.stop()
+
+
+def test_start_stop_submit_interleaving_never_wedges():
+    """Regression for the unlocked ``_stopping`` write in ``start()``:
+    concurrent start/stop/submit cycles must neither deadlock nor leak
+    an unanswered ticket."""
+    server = EstimationServer(batch_window_s=0.0)
+    tickets = []
+    tickets_lock = threading.Lock()
+    errors = []
+
+    def churn(i):
+        try:
+            for _ in range(10):
+                server.start()
+                try:
+                    t = server.submit(req(k=32 + i))
+                    with tickets_lock:
+                        tickets.append(t)
+                except RuntimeError:
+                    pass  # raced a concurrent stop(); acceptable
+                server.stop()
+        except Exception as exc:  # pragma: no cover - the assertion
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=churn, args=(i,)) for i in range(4)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(WAIT_S)
+        assert not t.is_alive(), "lifecycle churn deadlocked"
+    assert errors == []
+    server.stop()
+    # Every accepted ticket got an answer — drained, dropped, or served.
+    for t in tickets:
+        assert t.result(WAIT_S).status in (STATUS_OK, STATUS_ERROR)
+
+
+def test_concurrent_submit_during_stop_drains_or_rejects():
+    """A submitter racing ``stop(drain=True)`` either gets served or a
+    clean RuntimeError — never a hung ticket."""
+    server = EstimationServer()
+    server.start()
+    accepted = []
+    rejected = []
+
+    def submitter():
+        for k in (32, 64, 128, 256, 512):
+            try:
+                accepted.append(server.submit(req(k=k)))
+            except RuntimeError:
+                rejected.append(k)
+
+    thread = threading.Thread(target=submitter)
+    thread.start()
+    server.stop()
+    thread.join(WAIT_S)
+    assert not thread.is_alive()
+    assert len(accepted) + len(rejected) == 5
+    for t in accepted:
+        assert t.result(WAIT_S).status == STATUS_OK  # drain answered it
+
+
+def test_pending_on_done_fires_once_per_resolution():
+    fired = []
+    with EstimationServer() as server:
+        t = server.submit(req())
+        t.on_done(lambda p: fired.append(p.response.status))
+        assert t.result(WAIT_S).status == STATUS_OK
+    assert fired == [STATUS_OK]
+    # Registering after resolution fires immediately, exactly once.
+    t.on_done(lambda p: fired.append("late"))
+    assert fired == [STATUS_OK, "late"]
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,377 @@
+"""The socket front end: framing, streaming, shedding, shard routing."""
+
+import json
+import socket
+
+import pytest
+
+from repro.engine import ShardedExecutor, cost_priors
+from repro.obs import METRICS, reset_histograms
+from repro.perf import get_estimate_cache
+from repro.perf.fingerprint import matrix_fingerprint
+from repro.serve import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_SHED,
+    EstimateRequest,
+    EstimateResponse,
+    EstimationServer,
+    ProtocolError,
+    ServeClient,
+    ShardRouter,
+    SocketFrontEnd,
+    WORKLOADS,
+    request_from_wire,
+    request_to_wire,
+    response_from_wire,
+    response_to_wire,
+    run_workload,
+    run_workload_remote,
+)
+from repro.serve.net import recv_frame, send_frame
+
+pytestmark = pytest.mark.serve
+
+MAX_EDGES = 20_000
+WAIT_S = 60.0
+
+
+@pytest.fixture(autouse=True)
+def fresh_serving_state(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    METRICS.reset()
+    reset_histograms()
+    get_estimate_cache().clear()
+    cost_priors().reset()
+    yield
+    METRICS.reset()
+    reset_histograms()
+    cost_priors().reset()
+
+
+def req(**kw):
+    base = dict(
+        op="spmm", kernel="hp-spmm", graph="aifb", k=32,
+        device="v100", max_edges=MAX_EDGES,
+    )
+    base.update(kw)
+    return EstimateRequest(**base)
+
+
+def front_end(server=None, **kw):
+    server = EstimationServer() if server is None else server
+    return SocketFrontEnd(server, "127.0.0.1", 0, **kw)
+
+
+# ----------------------------------------------------------------------
+# Wire codec
+# ----------------------------------------------------------------------
+
+def test_request_wire_roundtrip_is_exact():
+    r = req(k=64, deadline_s=0.25, allow_degraded=False)
+    assert request_from_wire(request_to_wire(r)) == r
+    # And through actual JSON, as the socket does it.
+    assert request_from_wire(json.loads(json.dumps(request_to_wire(r)))) == r
+
+
+def test_response_wire_roundtrip_is_exact():
+    resp = EstimateResponse(
+        request=req(), status=STATUS_OK, time_s=4.9735368402426696e-06,
+        preprocessing_s=1e-3, bound="dram", latency_s=0.012,
+        queue_wait_s=0.003, batch_id=3, batch_size=16,
+    )
+    again = response_from_wire(json.loads(json.dumps(response_to_wire(resp))))
+    assert again == resp
+    assert again.time_s == resp.time_s  # float round-trips bit-exact
+
+
+def test_malformed_wire_payloads_raise_value_error():
+    with pytest.raises(ValueError):
+        request_from_wire({"op": "spmm"})  # missing required fields
+    with pytest.raises(ValueError):
+        request_from_wire({"op": "spmm", "kernel": "x", "graph": "g",
+                           "bogus_field": 1})
+    with pytest.raises(ValueError):
+        response_from_wire({"status": "ok"})  # no nested request
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+
+def test_frame_roundtrip_over_socketpair():
+    a, b = socket.socketpair()
+    try:
+        send_frame(a, {"type": "ping", "payload": [1, 2, 3]})
+        frame = recv_frame(b, max_frame=1 << 20)
+        assert frame == {"type": "ping", "payload": [1, 2, 3]}
+        a.close()
+        assert recv_frame(b, max_frame=1 << 20) is None  # clean EOF
+    finally:
+        b.close()
+
+
+def test_oversized_and_garbage_frames_are_protocol_errors():
+    a, b = socket.socketpair()
+    try:
+        send_frame(a, {"type": "big", "blob": "x" * 1000})
+        with pytest.raises(ProtocolError, match="max_frame"):
+            recv_frame(b, max_frame=64)
+    finally:
+        a.close()
+        b.close()
+    a, b = socket.socketpair()  # fresh pair: the big body is unread above
+    try:
+        a.sendall(b"\x00\x00\x00\x04abcd")  # length ok, body not JSON
+        with pytest.raises(ProtocolError, match="JSON"):
+            recv_frame(b, max_frame=1 << 20)
+        a.sendall(b"\x00\x00\x00\x02[]")  # valid JSON, not an object
+        with pytest.raises(ProtocolError, match="object"):
+            recv_frame(b, max_frame=1 << 20)
+    finally:
+        a.close()
+        b.close()
+
+
+# ----------------------------------------------------------------------
+# Round trip through a live front end
+# ----------------------------------------------------------------------
+
+def test_socket_estimate_matches_in_process():
+    server = EstimationServer()
+    with front_end(server) as fe:
+        with ServeClient(*fe.address) as client:
+            assert client.ping()
+            remote = client.estimate(req(), timeout=WAIT_S)
+    local = EstimationServer()
+    with local:
+        direct = local.estimate(req(), timeout=WAIT_S)
+    server.stop()
+    assert remote.status == STATUS_OK
+    assert remote.time_s == direct.time_s
+    assert remote.bound == direct.bound
+    assert METRICS.get("serve.conn_opened") == 1
+    assert METRICS.get("serve.conn_closed") == 1
+    assert METRICS.get("serve.net_requests") == 1
+    assert METRICS.get("serve.net_responses") == 1
+
+
+def test_responses_stream_per_micro_batch():
+    """A raw-socket replay observes answers arriving batch by batch:
+    batch ids are non-decreasing in arrival order and span >1 batch."""
+    server = EstimationServer(max_batch=4, batch_window_s=0.005)
+    requests = [req(k=k) for k in (32, 64, 128, 256)] * 2  # 8 -> 2 batches
+    with front_end(server) as fe:
+        sock = socket.create_connection(fe.address, timeout=WAIT_S)
+        try:
+            send_frame(sock, {
+                "type": "reqs",
+                "ids": list(range(len(requests))),
+                "requests": [request_to_wire(r) for r in requests],
+            })
+            arrival_batches = []
+            answered = {}
+            while len(answered) < len(requests):
+                frame = recv_frame(sock, max_frame=1 << 24)
+                assert frame["type"] == "resp"
+                resp = response_from_wire(frame["response"])
+                answered[frame["id"]] = resp
+                arrival_batches.append(resp.batch_id)
+        finally:
+            sock.close()
+    server.stop()
+    assert all(r.status == STATUS_OK for r in answered.values())
+    assert len(set(arrival_batches)) == 2          # two micro-batches
+    assert arrival_batches == sorted(arrival_batches)  # streamed in order
+
+
+def test_shed_then_retry():
+    """Past the watermark the client is refused with a back-off hint;
+    once depth recovers, the same request succeeds."""
+
+    class DepthSpoofServer(EstimationServer):
+        forced_depth = 0
+
+        @property
+        def queue_depth(self):
+            return self.forced_depth
+
+    server = DepthSpoofServer()
+    with front_end(server, queue_high=2) as fe:
+        with ServeClient(*fe.address) as client:
+            DepthSpoofServer.forced_depth = 100
+            shed = client.estimate(req(), timeout=WAIT_S)
+            assert shed.status == STATUS_SHED
+            assert not shed.answered
+            assert shed.retry_after_s is not None and shed.retry_after_s > 0
+            assert "watermark" in shed.error
+            # The client backs off and retries once the queue drains.
+            DepthSpoofServer.forced_depth = 0
+            retried = client.estimate(req(), timeout=WAIT_S)
+            assert retried.status == STATUS_OK
+    server.stop()
+    DepthSpoofServer.forced_depth = 0
+    assert METRICS.get("serve.shed") == 1
+    assert server.stats()[STATUS_SHED] == 1
+
+
+def test_atomic_submission_sheds_whole_frame():
+    class DepthSpoofServer(EstimationServer):
+        @property
+        def queue_depth(self):
+            return 0
+
+    server = DepthSpoofServer()
+    with front_end(server, queue_high=2) as fe:
+        with ServeClient(*fe.address) as client:
+            tickets = client.submit_atomic([req(k=k) for k in (32, 64, 128)])
+            responses = [t.result(WAIT_S) for t in tickets]
+    server.stop()
+    # 0 + 3 > 2: every request in the frame shed together.
+    assert [r.status for r in responses] == [STATUS_SHED] * 3
+    assert METRICS.get("serve.shed") == 3
+
+
+def test_stats_and_error_frames():
+    server = EstimationServer()
+    with front_end(server) as fe:
+        with ServeClient(*fe.address) as client:
+            client.estimate(req(), timeout=WAIT_S)
+            info = client.stats()
+            assert info["stats"]["requests"] == 1
+            assert info["stats"]["completed"] == 1
+            assert "p99" in info["latency_s"]
+            assert info["queue_depth"] == 0
+        # A bad request payload fails only itself; the connection and
+        # subsequent requests keep working.
+        sock = socket.create_connection(fe.address, timeout=WAIT_S)
+        try:
+            send_frame(sock, {"type": "req", "id": 0,
+                              "request": {"op": "spmm"}})
+            frame = recv_frame(sock, max_frame=1 << 20)
+            assert frame["type"] == "error"
+            assert "malformed" in frame["error"]
+            send_frame(sock, {"type": "req", "id": 1,
+                              "request": request_to_wire(req())})
+            frame = recv_frame(sock, max_frame=1 << 20)
+            assert frame["type"] == "resp"
+            assert response_from_wire(frame["response"]).status == STATUS_OK
+            # An unknown frame type is fatal to the connection.
+            send_frame(sock, {"type": "bogus"})
+            frame = recv_frame(sock, max_frame=1 << 20)
+            assert frame["type"] == "error"
+            assert recv_frame(sock, max_frame=1 << 20) is None
+        finally:
+            sock.close()
+    server.stop()
+    assert METRICS.get("serve.net_bad_requests") == 1
+    assert METRICS.get("serve.protocol_errors") == 1
+
+
+def test_stopped_server_answers_errors_not_hangs():
+    server = EstimationServer()
+    with front_end(server) as fe:
+        server.stop(drain=False)
+        with ServeClient(*fe.address) as client:
+            resp = client.estimate(req(), timeout=WAIT_S)
+            assert resp.status == STATUS_ERROR
+            assert "stopped" in resp.error
+
+
+# ----------------------------------------------------------------------
+# Golden: the socket path reproduces the in-process report exactly
+# ----------------------------------------------------------------------
+
+def _deterministic_core(report):
+    return json.dumps(
+        {"responses": report["responses"], "summary": report["summary"]},
+        sort_keys=True,
+    )
+
+
+def _reset_state():
+    METRICS.reset()
+    reset_histograms()
+    get_estimate_cache().clear()
+    cost_priors().reset()
+
+
+def test_remote_smoke_report_is_byte_identical_to_in_process():
+    spec = WORKLOADS["smoke"]
+    _reset_state()
+    local = run_workload(spec)
+    _reset_state()
+    server = EstimationServer(
+        max_batch=spec.max_batch, batch_window_s=spec.batch_window_s
+    )
+    with front_end(server) as fe:
+        remote = run_workload_remote(spec, *fe.address)
+    server.stop()
+    assert _deterministic_core(remote) == _deterministic_core(local)
+    assert remote["client_latency_s"]["count"] == spec.num_requests
+    assert remote["client_latency_s"]["p99"] > 0
+
+
+# ----------------------------------------------------------------------
+# Shard router
+# ----------------------------------------------------------------------
+
+def test_shard_router_is_deterministic_and_spreads():
+    fingerprints = [f"m100x100-nnz{i}-abc{i}" for i in range(64)]
+    a, b = ShardRouter(4), ShardRouter(4)
+    placed = [a.shard_of_fingerprint(fp) for fp in fingerprints]
+    assert placed == [b.shard_of_fingerprint(fp) for fp in fingerprints]
+    assert all(0 <= s < 4 for s in placed)
+    assert len(set(placed)) == 4  # 64 structures cover all 4 buckets
+    assert a.table() == dict(zip(fingerprints, placed))
+    with pytest.raises(ValueError):
+        ShardRouter(0)
+
+
+def test_shard_router_routes_units_by_matrix_fingerprint():
+    from repro.engine.core import _WorkUnit
+    from repro.graphs import load_graph
+
+    S = load_graph("aifb", max_edges=MAX_EDGES).matrix
+    router = ShardRouter(3)
+    unit = _WorkUnit(
+        graph="aifb", S=S, points=[], check_plans=False,
+        capture_errors=True, span="s", cat="c",
+    )
+    expected = router.shard_of_fingerprint(matrix_fingerprint(S))
+    assert router.shard_of_unit(unit) == expected
+    assert router.shard_of_matrix(S) == expected
+    assert router.shard_of_graph("aifb", max_edges=MAX_EDGES) == expected
+    # No matrix and no store handle: decline (round-robin fallback).
+    bare = _WorkUnit(
+        graph="aifb", S=None, points=[], check_plans=False,
+        capture_errors=True, span="s", cat="c",
+    )
+    assert router.shard_of_unit(bare) is None
+
+
+def test_sharded_executor_affinity_pins_items():
+    def everything_to_shard_one(item):
+        return 1
+
+    with ShardedExecutor(
+        workers=2, affinity=everything_to_shard_one
+    ) as executor:
+        results = executor.map(len, [[1], [2, 2], [3, 3, 3]])
+    if METRICS.get("engine.shard_fallbacks"):
+        pytest.skip("sandbox forbids worker processes")
+    assert results == [1, 2, 3]
+    # Every item landed on the single pinned worker.
+    assert len(executor.dispatch_counts) == 1
+    assert sum(executor.dispatch_counts.values()) == 3
+    assert METRICS.get("engine.shard_affinity_hits") == 3
+
+
+def test_sharded_executor_affinity_none_falls_back_to_round_robin():
+    with ShardedExecutor(workers=2, affinity=lambda item: None) as executor:
+        results = executor.map(len, [[1], [2, 2], [3, 3, 3], [4] * 4])
+    if METRICS.get("engine.shard_fallbacks"):
+        pytest.skip("sandbox forbids worker processes")
+    assert results == [1, 2, 3, 4]
+    assert len(executor.dispatch_counts) == 2  # spread over both workers
+    assert METRICS.get("engine.shard_affinity_hits") == 0

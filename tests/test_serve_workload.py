@@ -46,6 +46,17 @@ def test_workload_spec_validation():
         WorkloadSpec(name="bad", mode="surprise")
     with pytest.raises(ValueError):
         WorkloadSpec(name="bad", num_requests=0)
+    with pytest.raises(ValueError):
+        WorkloadSpec(name="bad", result_timeout_s=0.0)
+
+
+def test_soak_preset_is_open_loop_at_ten_times_smoke_rate():
+    smoke, soak = WORKLOADS["smoke"], WORKLOADS["soak"]
+    assert soak.mode == "open"
+    assert soak.arrival_rate_hz == pytest.approx(10 * smoke.arrival_rate_hz)
+    assert soak.num_requests > smoke.num_requests
+    assert soak.deadline_s > 0
+    assert soak.forced_deadline_every == 0  # no artificial degrades
 
 
 # ----------------------------------------------------------------------
@@ -109,6 +120,19 @@ def test_open_loop_answers_every_request():
     report = run_workload(spec)
     assert report["summary"]["requests"] == 6
     assert report["summary"]["by_status"]["error"] == 0
+
+
+def test_driver_times_out_instead_of_hanging_on_a_dead_server(monkeypatch):
+    """A server whose worker never starts must fail the drive within the
+    spec's result_timeout_s, not block ``result()`` forever."""
+    from repro.serve.server import EstimationServer
+
+    monkeypatch.setattr(EstimationServer, "start", lambda self: None)
+    spec = dataclasses.replace(
+        WORKLOADS["smoke"], num_requests=4, result_timeout_s=0.2
+    )
+    with pytest.raises(TimeoutError):
+        run_workload(spec)
 
 
 # ----------------------------------------------------------------------
