@@ -36,7 +36,8 @@ VALID_TYPES = (TYPE_INT, TYPE_FLAG, TYPE_STR, TYPE_PATH, TYPE_CHOICE)
 
 #: Owning subsystems, in README table order.
 SUBSYSTEMS = (
-    "graphs", "bench", "perf", "engine", "store", "obs", "serve", "tests",
+    "graphs", "bench", "perf", "engine", "store", "obs", "serve", "world",
+    "tests",
 )
 
 
@@ -150,6 +151,27 @@ ENV_VARS: dict[str, EnvVar] = {
             "REPRO_SERVE_MAX_FRAME", TYPE_INT, "8388608", "serve",
             "largest accepted wire frame in bytes (guards the length "
             "prefix against garbage/hostile peers)",
+        ),
+        # -- world -------------------------------------------------------
+        EnvVar(
+            "REPRO_WORLD_SAMPLES", TYPE_INT, "64", "world",
+            "default sampled-config count for `python -m repro.world`",
+        ),
+        EnvVar(
+            "REPRO_WORLD_SEED", TYPE_INT, "0", "world",
+            "universe sampling seed (same seed = identical config list)",
+        ),
+        EnvVar(
+            "REPRO_WORLD_MAX_NODES", TYPE_INT, "2048", "world",
+            "upper bound of the sampled size axis (log-uniform strata)",
+        ),
+        EnvVar(
+            "REPRO_WORLD_K", TYPE_INT, "32", "world",
+            "feature width the world sweep estimates every kernel at",
+        ),
+        EnvVar(
+            "REPRO_WORLD_WORKERS", TYPE_INT, "0", "world",
+            "shard workers for the world sweep (`0`/`1` = inline dispatch)",
         ),
         # -- tests -------------------------------------------------------
         EnvVar(

@@ -142,6 +142,20 @@ class BatchResult:
     def __len__(self) -> int:
         return len(self.results)
 
+    def by_graph(self) -> dict:
+        """Results grouped by request graph label, in request order.
+
+        The world sweep (and any caller issuing one batch spanning many
+        matrices) fans hundreds of ``(graph, kernel)`` points through a
+        single :meth:`Engine.estimate_batch` call; this view re-folds
+        the flat, request-ordered result list back into per-graph
+        groups without re-deriving the planner's grouping.
+        """
+        grouped: dict = {}
+        for res in self.results:
+            grouped.setdefault(res.request.graph, []).append(res)
+        return grouped
+
 
 @dataclass(frozen=True)
 class EngineConfig:

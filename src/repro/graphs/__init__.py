@@ -2,8 +2,10 @@
 graph-sampling subgraph collection, and degree statistics."""
 
 from .generators import (
+    GENERATOR_FAMILIES,
     chung_lu_graph,
     community_graph,
+    generate_graph,
     lognormal_degree_graph,
     rmat_graph,
 )
@@ -35,8 +37,10 @@ from .stats import (
 )
 
 __all__ = [
+    "GENERATOR_FAMILIES",
     "chung_lu_graph",
     "community_graph",
+    "generate_graph",
     "lognormal_degree_graph",
     "rmat_graph",
     "DEFAULT_MAX_EDGES",

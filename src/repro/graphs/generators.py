@@ -272,6 +272,77 @@ def rmat_graph(
     return _finalize(src, dst, num_nodes, self_loops, symmetric)
 
 
+#: Parametric generator families — the axis vocabulary of the scenario
+#: universe (``repro.world``).  Each family maps the universe's
+#: normalized ``skew`` knob onto its native skew parameter in
+#: :func:`generate_graph`.
+FAMILY_CHUNG_LU = "chung-lu"
+FAMILY_COMMUNITY = "community"
+FAMILY_LOGNORMAL = "lognormal"
+FAMILY_RMAT = "rmat"
+
+GENERATOR_FAMILIES: tuple[str, ...] = (
+    FAMILY_CHUNG_LU,
+    FAMILY_COMMUNITY,
+    FAMILY_LOGNORMAL,
+    FAMILY_RMAT,
+)
+
+
+def generate_graph(
+    family: str,
+    num_nodes: int,
+    num_edges: int,
+    *,
+    skew: float = 0.5,
+    p_in: float = 0.8,
+    seed: int = 0,
+) -> HybridMatrix:
+    """One parametric entry point over every generator family.
+
+    ``skew`` is the universe's normalized degree-skew knob in ``[0, 1]``
+    (0 = near-uniform degrees, 1 = heaviest tail each family supports);
+    it maps to the family-native parameter:
+
+    * ``chung-lu`` / ``community`` — power-law exponent
+      ``gamma = 3.2 - 1.6 * skew`` (3.2 is effectively uniform, 1.6 a
+      very heavy tail);
+    * ``lognormal`` — ``sigma = 0.1 + 2.0 * skew`` (the Fig. 12 sweep's
+      range);
+    * ``rmat`` — top-left quadrant mass ``a = 0.40 + 0.25 * skew`` with
+      the remainder split evenly over b/c/d.
+
+    ``p_in`` only shapes the ``community`` family (in-community edge
+    probability); other families ignore it.  All outputs are
+    deterministic functions of ``(family, num_nodes, num_edges, skew,
+    p_in, seed)``.
+    """
+    if not 0.0 <= skew <= 1.0:
+        raise ValueError(f"skew must be in [0, 1], got {skew}")
+    if family == FAMILY_CHUNG_LU:
+        return chung_lu_graph(
+            num_nodes, num_edges, gamma=3.2 - 1.6 * skew, seed=seed
+        )
+    if family == FAMILY_COMMUNITY:
+        return community_graph(
+            num_nodes, num_edges, gamma=3.2 - 1.6 * skew, p_in=p_in,
+            seed=seed,
+        )
+    if family == FAMILY_LOGNORMAL:
+        return lognormal_degree_graph(
+            num_nodes, num_edges / max(1, num_nodes), 0.1 + 2.0 * skew,
+            seed=seed,
+        )
+    if family == FAMILY_RMAT:
+        a = 0.40 + 0.25 * skew
+        bc = (1.0 - a) / 3.0
+        return rmat_graph(num_nodes, num_edges, a=a, b=bc, c=bc, seed=seed)
+    raise ValueError(
+        f"unknown generator family {family!r}; valid families are "
+        f"{list(GENERATOR_FAMILIES)}"
+    )
+
+
 def _finalize(
     src: np.ndarray,
     dst: np.ndarray,

@@ -1,0 +1,153 @@
+"""Crossover/ranking maps: *where* each kernel wins, not just whether.
+
+Pure functions over plain row dicts (``mean_degree``, ``skew``,
+``winner``, ``margin``, per-kernel records), so the aggregation is
+directly testable on hand-built fixtures with known winner boundaries
+— no graphs or simulator involved.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Default region resolution of the crossover map.
+DEFAULT_DEGREE_BUCKETS = 4
+DEFAULT_SKEW_BUCKETS = 4
+
+
+def _log_edges(lo: float, hi: float, buckets: int) -> list[float]:
+    """``buckets + 1`` log-spaced edges spanning ``[lo, hi]``."""
+    llo, lhi = math.log(lo), math.log(hi)
+    return [
+        math.exp(llo + (lhi - llo) * i / buckets) for i in range(buckets + 1)
+    ]
+
+
+def _bucket_of(value: float, edges: list[float]) -> int:
+    """Index of the half-open bucket containing ``value`` (clamped)."""
+    for i in range(len(edges) - 2):
+        if value < edges[i + 1]:
+            return i
+    return len(edges) - 2
+
+
+def crossover_map(
+    rows: list[dict],
+    *,
+    degree_range: tuple[float, float],
+    degree_buckets: int = DEFAULT_DEGREE_BUCKETS,
+    skew_buckets: int = DEFAULT_SKEW_BUCKETS,
+) -> dict:
+    """Bucket rows into a density x skew grid and pick per-region winners.
+
+    Density buckets are log-spaced over ``degree_range`` (matching the
+    sampler's log-uniform axis, so sampled universes fill regions
+    evenly); skew buckets are linear over [0, 1].  Each region reports
+    its winner tally, the top kernel (ties broken lexicographically so
+    the map is deterministic), the top kernel's share, and the mean win
+    margin of the configs it holds.
+    """
+    deg_lo, deg_hi = degree_range
+    if not 0 < deg_lo < deg_hi:
+        raise ValueError(f"bad degree_range {degree_range!r}")
+    if degree_buckets <= 0 or skew_buckets <= 0:
+        raise ValueError("bucket counts must be positive")
+    degree_edges = _log_edges(deg_lo, deg_hi, degree_buckets)
+    skew_edges = [i / skew_buckets for i in range(skew_buckets + 1)]
+
+    cells: dict[tuple[int, int], list[dict]] = {}
+    for row in rows:
+        di = _bucket_of(row["mean_degree"], degree_edges)
+        si = _bucket_of(row["skew"], skew_edges)
+        cells.setdefault((di, si), []).append(row)
+
+    regions = []
+    for di in range(degree_buckets):
+        for si in range(skew_buckets):
+            members = cells.get((di, si), [])
+            winners: dict[str, int] = {}
+            margins = []
+            for row in members:
+                if row["winner"] is not None:
+                    winners[row["winner"]] = winners.get(row["winner"], 0) + 1
+                if row.get("margin") is not None:
+                    margins.append(row["margin"])
+            top = None
+            top_share = 0.0
+            if winners:
+                # Highest count first, then name, for a stable label.
+                top = min(winners, key=lambda kn: (-winners[kn], kn))
+                top_share = winners[top] / sum(winners.values())
+            regions.append(
+                {
+                    "id": f"d{di}s{si}",
+                    "degree_lo": degree_edges[di],
+                    "degree_hi": degree_edges[di + 1],
+                    "skew_lo": skew_edges[si],
+                    "skew_hi": skew_edges[si + 1],
+                    "configs": len(members),
+                    "winners": dict(sorted(winners.items())),
+                    "top": top,
+                    "top_share": top_share,
+                    "mean_margin": (
+                        sum(margins) / len(margins) if margins else None
+                    ),
+                }
+            )
+    return {
+        "degree_buckets": degree_buckets,
+        "skew_buckets": skew_buckets,
+        "degree_edges": degree_edges,
+        "skew_edges": skew_edges,
+        "regions": regions,
+    }
+
+
+def kernel_ranking(rows: list[dict], kernels: list[str]) -> list[dict]:
+    """Global ranking table: wins, win share, geomean relative slowdown.
+
+    ``geomean_rel`` is each kernel's geometric-mean total time relative
+    to the per-config winner over the configs where both completed —
+    1.0 means "always the winner"; it orders kernels that rarely win
+    outright by how close they stay to the frontier.
+    """
+    wins = {kernel: 0 for kernel in kernels}
+    log_rel = {kernel: [] for kernel in kernels}
+    decided = 0
+    for row in rows:
+        winner = row["winner"]
+        if winner is None:
+            continue
+        decided += 1
+        wins[winner] = wins.get(winner, 0) + 1
+        best = row["kernels"][winner]["total_time_s"]
+        if not best or best <= 0:
+            continue
+        for kernel, rec in row["kernels"].items():
+            if rec["status"] == "ok" and kernel in log_rel:
+                log_rel[kernel].append(
+                    math.log(rec["total_time_s"] / best)
+                )
+    table = []
+    for kernel in kernels:
+        rel = (
+            math.exp(sum(log_rel[kernel]) / len(log_rel[kernel]))
+            if log_rel[kernel]
+            else None
+        )
+        table.append(
+            {
+                "kernel": kernel,
+                "wins": wins.get(kernel, 0),
+                "win_share": wins.get(kernel, 0) / decided if decided else 0.0,
+                "geomean_rel": rel,
+            }
+        )
+    table.sort(
+        key=lambda r: (
+            -r["wins"],
+            r["geomean_rel"] if r["geomean_rel"] is not None else math.inf,
+            r["kernel"],
+        )
+    )
+    return table

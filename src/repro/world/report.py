@@ -1,0 +1,133 @@
+"""World reports: ``results/world_<name>.json`` + run manifest.
+
+The report is the deliverable the ROADMAP's input-aware auto-selection
+item consumes: per-config structural features and per-kernel times
+(training rows), plus the aggregated crossover map and global ranking
+(the figure axis the paper never had).  Serialization is
+``sort_keys=True`` JSON of deterministic values only — no wall clock,
+no hostnames — so two runs of the same universe are byte-identical,
+which the world smoke CI job asserts with a straight ``cmp``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from ..bench.runner import results_dir
+from ..obs import METRICS, write_manifest
+from .crossover import (
+    DEFAULT_DEGREE_BUCKETS,
+    DEFAULT_SKEW_BUCKETS,
+    crossover_map,
+    kernel_ranking,
+)
+from .sweep import WorldSweepResult
+
+SCHEMA = "repro.world/v1"
+
+
+def build_report(
+    result: WorldSweepResult,
+    *,
+    mode: str = "sampled",
+    seed: int | None = None,
+    degree_buckets: int = DEFAULT_DEGREE_BUCKETS,
+    skew_buckets: int = DEFAULT_SKEW_BUCKETS,
+) -> dict:
+    """Assemble the full report payload from one sweep."""
+    # Widen the bucket span marginally so min/max configs land strictly
+    # inside the outer buckets whatever the float rounding did.
+    deg_lo, deg_hi = result.degree_range
+    span = (max(deg_lo * 0.999, 1e-9), max(deg_hi * 1.001, 2e-9))
+    crossover = crossover_map(
+        result.rows,
+        degree_range=span,
+        degree_buckets=degree_buckets,
+        skew_buckets=skew_buckets,
+    )
+    METRICS.inc("world.regions", len(crossover["regions"]))
+    return {
+        "schema": SCHEMA,
+        "world": {
+            "mode": mode,
+            "seed": seed,
+            "samples": result.configs,
+            "kernels": result.kernels,
+            "k": result.k,
+            "device": result.device,
+            # Executor topology (workers) is deliberately absent: the
+            # report must be byte-identical whether the sweep ran
+            # inline or sharded; the manifest's config block records it.
+            "skipped_kernels": dict(sorted(result.skipped_kernels.items())),
+        },
+        "points": [p.to_dict() for p in result.points],
+        "ranking": kernel_ranking(result.rows, result.kernels),
+        "crossover": crossover,
+        "errors": result.errors,
+    }
+
+
+def write_world_report(
+    report: dict, name: str = "sweep", *, config: dict | None = None
+) -> str:
+    """Write ``results/world_<name>.json`` plus its manifest; returns the
+    report path.  The same atomic-replace discipline as every other
+    results/ writer, so a crashed run never leaves a torn report.
+    """
+    base = results_dir()
+    path = os.path.join(base, f"world_{name}.json")
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+    os.replace(tmp, path)
+    METRICS.inc("world.reports")
+    write_manifest(f"world_{name}", base, config)
+    return path
+
+
+def render_ranking_table(report: dict) -> str:
+    """The global ranking as a markdown table (CLI stdout + CI summary)."""
+    lines = [
+        "| rank | kernel | wins | win share | geomean rel. time |",
+        "|---|---|---|---|---|",
+    ]
+    for i, row in enumerate(report["ranking"], start=1):
+        rel = (
+            f"{row['geomean_rel']:.3f}x"
+            if row["geomean_rel"] is not None
+            else "-"
+        )
+        lines.append(
+            f"| {i} | {row['kernel']} | {row['wins']} "
+            f"| {100.0 * row['win_share']:.1f}% | {rel} |"
+        )
+    return "\n".join(lines)
+
+
+def render_crossover_table(report: dict) -> str:
+    """The region map as a degree x skew markdown grid of top winners."""
+    cx = report["crossover"]
+    nd, ns = cx["degree_buckets"], cx["skew_buckets"]
+    by_id = {r["id"]: r for r in cx["regions"]}
+    header = ["| mean degree \\ skew |"]
+    for si in range(ns):
+        header.append(
+            f" {cx['skew_edges'][si]:.2f}-{cx['skew_edges'][si + 1]:.2f} |"
+        )
+    lines = ["".join(header), "|---|" + "---|" * ns]
+    for di in range(nd):
+        cells = [
+            f"| {cx['degree_edges'][di]:.1f}-{cx['degree_edges'][di + 1]:.1f} |"
+        ]
+        for si in range(ns):
+            region = by_id[f"d{di}s{si}"]
+            if region["top"] is None:
+                cells.append(" - |")
+            else:
+                cells.append(
+                    f" {region['top']} ({region['configs']}) |"
+                )
+        lines.append("".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,221 @@
+"""The parametric scenario universe: seeded, stratified config sampling.
+
+The paper's evaluation fixes 19 datasets; the universe instead samples a
+parametric space of synthetic graphs over the knobs
+:mod:`repro.graphs.generators` already exposes — generator family, node
+count, density (mean degree), degree skew, and community mixing — in the
+style of GraphWorld (PAPERS.md).  Running every kernel over the sampled
+universe turns single-benchmark verdicts into *crossover maps*: regions
+of graph-parameter space labeled with the winning kernel.
+
+Sampling contract (what the tests pin down):
+
+* **Deterministic** — :func:`sample_universe` is a pure function of
+  ``(samples, seed, axis ranges)``; the same call produces an identical
+  config list in any process on any platform (NumPy ``default_rng``
+  only, no wall clock, no hash randomization).
+* **Stratified** — each continuous axis is split into ``samples``
+  equal-probability strata and every stratum receives exactly one
+  sample (a per-axis Latin-hypercube), so small universes still cover
+  the full range of every axis instead of clustering.
+* **Family-cycled** — the four generator families round-robin across
+  config indices, so every universe of >= 4 samples exercises all of
+  them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from ..config import env_int
+from ..formats import HybridMatrix
+from ..graphs import GENERATOR_FAMILIES, generate_graph
+
+#: Default axis ranges.  Node counts are log-uniform between the floor
+#: and the ``REPRO_WORLD_MAX_NODES`` cap; mean degree is log-uniform —
+#: kernel crossovers track ratios, not absolute scale, on both axes.
+DEFAULT_MIN_NODES = 192
+DEFAULT_DEGREE_RANGE = (2.0, 32.0)
+
+#: Community-mixing axis bounds (community family only).
+P_IN_RANGE = (0.3, 0.95)
+
+
+def default_samples() -> int:
+    """Env default for the universe size (``REPRO_WORLD_SAMPLES``)."""
+    return env_int("REPRO_WORLD_SAMPLES", 64)
+
+
+def default_seed() -> int:
+    """Env default for the sampling seed (``REPRO_WORLD_SEED``)."""
+    return env_int("REPRO_WORLD_SEED", 0)
+
+
+def default_max_nodes() -> int:
+    """Env default for the size-axis cap (``REPRO_WORLD_MAX_NODES``)."""
+    return env_int("REPRO_WORLD_MAX_NODES", 2048)
+
+
+@dataclass(frozen=True)
+class WorldConfig:
+    """One sampled point of the scenario universe."""
+
+    index: int          #: position in the universe (stable across runs)
+    family: str         #: generator family (GENERATOR_FAMILIES)
+    num_nodes: int      #: size axis (log-uniform strata)
+    mean_degree: float  #: density axis (log-uniform strata)
+    skew: float         #: normalized degree-skew knob in [0, 1)
+    p_in: float         #: community mixing (community family only)
+    graph_seed: int     #: generator seed derived from the universe seed
+
+    @property
+    def name(self) -> str:
+        """Stable per-config label — the engine's graph key."""
+        return f"world-{self.index:04d}"
+
+    @property
+    def num_edges(self) -> int:
+        """Requested edge count (pre-dedup/self-loop adjustment)."""
+        return max(self.num_nodes, int(round(self.mean_degree * self.num_nodes)))
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload (adds the derived name/edge fields)."""
+        d = asdict(self)
+        d["name"] = self.name
+        d["num_edges"] = self.num_edges
+        return d
+
+
+def build_world_graph(config: WorldConfig) -> HybridMatrix:
+    """Materialize one config through the parametric generator surface."""
+    return generate_graph(
+        config.family,
+        config.num_nodes,
+        config.num_edges,
+        skew=config.skew,
+        p_in=config.p_in,
+        seed=config.graph_seed,
+    )
+
+
+def _stratified_axis(n: int, rng: np.random.Generator) -> np.ndarray:
+    """``n`` uniforms in [0, 1), exactly one per stratum ``[k/n, (k+1)/n)``.
+
+    The stratum order is shuffled so axes decorrelate (Latin hypercube);
+    both the offsets and the permutation come from the caller's seeded
+    ``rng``, in a fixed draw order, so the result is deterministic.
+    """
+    offsets = rng.random(n)
+    strata = rng.permutation(n).astype(np.float64)
+    return (strata + offsets) / n
+
+
+def _log_interp(u: np.ndarray, lo: float, hi: float) -> np.ndarray:
+    return np.exp(np.log(lo) + u * (np.log(hi) - np.log(lo)))
+
+
+def _graph_seed(seed: int, index: int) -> int:
+    # A large odd stride keeps per-config generator seeds disjoint
+    # across universe seeds without involving any hashing.
+    return seed * 1_000_003 + index
+
+
+def sample_universe(
+    samples: int | None = None,
+    seed: int | None = None,
+    *,
+    min_nodes: int = DEFAULT_MIN_NODES,
+    max_nodes: int | None = None,
+    degree_range: tuple[float, float] = DEFAULT_DEGREE_RANGE,
+) -> list[WorldConfig]:
+    """Sample a stratified universe of ``samples`` graph configs.
+
+    Axis draw order is fixed (size, degree, skew, p_in) so adding axes
+    later cannot silently reshuffle existing universes under the same
+    seed.
+    """
+    samples = default_samples() if samples is None else samples
+    seed = default_seed() if seed is None else seed
+    max_nodes = default_max_nodes() if max_nodes is None else max_nodes
+    if samples <= 0:
+        raise ValueError(f"samples must be positive, got {samples}")
+    if not min_nodes < max_nodes:
+        raise ValueError(
+            f"need min_nodes < max_nodes, got {min_nodes} >= {max_nodes}"
+        )
+    deg_lo, deg_hi = degree_range
+    if not 0 < deg_lo < deg_hi:
+        raise ValueError(f"bad degree_range {degree_range}")
+
+    rng = np.random.default_rng(seed)
+    u_size = _stratified_axis(samples, rng)
+    u_degree = _stratified_axis(samples, rng)
+    u_skew = _stratified_axis(samples, rng)
+    u_p_in = _stratified_axis(samples, rng)
+
+    sizes = np.rint(_log_interp(u_size, min_nodes, max_nodes)).astype(int)
+    degrees = _log_interp(u_degree, deg_lo, deg_hi)
+    p_lo, p_hi = P_IN_RANGE
+    p_ins = p_lo + u_p_in * (p_hi - p_lo)
+
+    configs = []
+    for i in range(samples):
+        n = int(sizes[i])
+        configs.append(
+            WorldConfig(
+                index=i,
+                family=GENERATOR_FAMILIES[i % len(GENERATOR_FAMILIES)],
+                num_nodes=n,
+                # Cap density so tiny graphs stay sparse (the universe
+                # models GNN adjacency, not dense blocks).
+                mean_degree=float(min(degrees[i], n / 4)),
+                skew=float(u_skew[i]),
+                p_in=float(p_ins[i]),
+                graph_seed=_graph_seed(seed, i),
+            )
+        )
+    return configs
+
+
+def grid_universe(
+    degree_steps: int,
+    skew_steps: int,
+    *,
+    seed: int | None = None,
+    family: str = "community",
+    num_nodes: int = 1024,
+    degree_range: tuple[float, float] = DEFAULT_DEGREE_RANGE,
+    p_in: float = 0.8,
+) -> list[WorldConfig]:
+    """A full density x skew grid at stratum midpoints (one family).
+
+    The grid mode trades axis coverage for resolution: every cell of
+    the crossover map receives the same number of configs, which makes
+    the map's winner boundaries sharp instead of sampled.  ``seed``
+    only derives the per-config generator seeds — the grid coordinates
+    themselves are fixed.
+    """
+    if degree_steps <= 0 or skew_steps <= 0:
+        raise ValueError("grid steps must be positive")
+    seed = default_seed() if seed is None else seed
+    deg_lo, deg_hi = degree_range
+    configs = []
+    for i in range(degree_steps):
+        u_d = (i + 0.5) / degree_steps
+        degree = float(_log_interp(np.array([u_d]), deg_lo, deg_hi)[0])
+        for j in range(skew_steps):
+            index = i * skew_steps + j
+            configs.append(
+                WorldConfig(
+                    index=index,
+                    family=family,
+                    num_nodes=num_nodes,
+                    mean_degree=min(degree, num_nodes / 4),
+                    skew=(j + 0.5) / skew_steps,
+                    p_in=p_in,
+                    graph_seed=_graph_seed(seed, index),
+                )
+            )
+    return configs
