@@ -14,6 +14,12 @@ graph combinations, so its cache hit count shows the memo layer doing
 its job).  Results are deterministic; the timings are the only
 machine-dependent values in the file.
 
+A ``frontier`` section (skippable with ``--no-frontier``) times the
+full-field SpMM sweep against the model-predicted frontier (the
+``repro.select`` policy narrowing each graph to its top-k candidate
+kernels), so the wall-clock reduction the selection layer buys is a
+committed, diffable number.
+
 A ``dispatch`` section (skippable with ``--no-dispatch``) additionally
 records batched engine-dispatch throughput — requests/sec through the
 inline, pool, and sharded executors, with the sharded path measured
@@ -96,6 +102,43 @@ def run_pipelines(
     # timing keys above are regression-gated.
     report["metrics"] = snapshot()
     return report
+
+
+def run_frontier_bench(*, max_edges: int | None = None) -> dict:
+    """Full-field sweep vs model-predicted frontier, wall clock.
+
+    Both arms start from a cold estimate cache so the predicted arm's
+    advantage is genuinely fewer (graph, kernel) configs swept, not memo
+    hits left behind by the full arm.  Key names stay outside the
+    ``repro.obs diff`` timing-gated set (``seconds``/``*_seconds``/...):
+    the speedup is workload structure, not a gated regression surface.
+    """
+    from repro.bench import run_frontier
+    from repro.perf import get_estimate_cache
+    from repro.select import default_topk
+
+    top_k = default_topk()
+    section: dict = {"top_k": top_k}
+    for label, arm_top_k in (("full", None), ("predicted", top_k)):
+        get_estimate_cache().clear()
+        t0 = time.perf_counter()
+        result = run_frontier(max_edges=max_edges, top_k=arm_top_k)
+        elapsed = time.perf_counter() - t0
+        section[label] = {
+            "elapsed_s": round(elapsed, 4),
+            "swept_configs": sum(
+                len(kernels) for kernels in result.frontier.values()
+            ),
+            "graphs": len(result.graphs),
+        }
+    full, pred = section["full"], section["predicted"]
+    section["config_reduction"] = round(
+        1.0 - pred["swept_configs"] / full["swept_configs"], 3
+    )
+    section["speedup"] = round(
+        full["elapsed_s"] / pred["elapsed_s"], 2
+    ) if pred["elapsed_s"] else None
+    return section
 
 
 #: Batched-dispatch workload: every (graph, kernel, k) combination below
@@ -225,6 +268,10 @@ def main(argv: list[str] | None = None) -> int:
         "--fig12-nodes", type=int, default=None, help="fig12 suite graph size"
     )
     parser.add_argument(
+        "--no-frontier", action="store_true",
+        help="skip the full-vs-predicted frontier section",
+    )
+    parser.add_argument(
         "--no-dispatch", action="store_true",
         help="skip the batched-dispatch throughput section",
     )
@@ -255,6 +302,8 @@ def main(argv: list[str] | None = None) -> int:
             subgraphs=args.subgraphs,
             fig12_nodes=args.fig12_nodes,
         )
+    if not args.dispatch_only and not args.no_frontier:
+        report["frontier"] = run_frontier_bench(max_edges=args.max_edges)
     if not args.no_dispatch:
         from repro.obs import snapshot
 
@@ -271,6 +320,15 @@ def main(argv: list[str] | None = None) -> int:
             f"{name:>8}: {row['seconds']:8.2f}s  "
             f"(cache {row['estimate_cache_hits']} hits / "
             f"{row['estimate_cache_misses']} misses)"
+        )
+    if "frontier" in report:
+        fr = report["frontier"]
+        print(
+            f"frontier: full {fr['full']['elapsed_s']:.2f}s "
+            f"({fr['full']['swept_configs']} configs) vs predicted "
+            f"{fr['predicted']['elapsed_s']:.2f}s "
+            f"({fr['predicted']['swept_configs']} configs, "
+            f"top-{fr['top_k']}) -> {fr['speedup']}x"
         )
     if "dispatch" in report:
         d = report["dispatch"]

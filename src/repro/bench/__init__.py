@@ -6,6 +6,12 @@ from .fig10 import Fig10Result, run_fig10
 from .fig11 import ABLATION_GRAPHS, Fig11Result, run_fig11
 from .fig12 import Fig12Result, run_fig12
 from .fig13 import Fig13Result, run_fig13
+from .frontier import (
+    FRONTIER_KERNELS,
+    FrontierResult,
+    restrict_result,
+    run_frontier,
+)
 from .reorder_eff import ReorderEffResult, run_reorder_efficiency
 from .runner import (
     SDDMM_BASELINES,
@@ -39,6 +45,7 @@ EXPERIMENTS = {
     "tcgnn": run_tcgnn,
     "reorder": run_reorder_efficiency,
     "ablations": run_design_ablations,
+    "frontier": run_frontier,
 }
 
 __all__ = [
@@ -57,6 +64,10 @@ __all__ = [
     "run_fig12",
     "Fig13Result",
     "run_fig13",
+    "FRONTIER_KERNELS",
+    "FrontierResult",
+    "restrict_result",
+    "run_frontier",
     "ReorderEffResult",
     "run_reorder_efficiency",
     "SDDMM_BASELINES",

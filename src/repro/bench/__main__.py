@@ -35,7 +35,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         help="experiment id (fig9 fig10 fig11 fig12 fig13 table3 table4 "
-        "table5 tcgnn reorder), 'all', or 'list'",
+        "table5 tcgnn reorder frontier), 'all', or 'list'",
     )
     parser.add_argument("--k", type=int, default=None, help="feature dimension")
     parser.add_argument(
@@ -55,7 +55,24 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print per-experiment wall-clock and estimate-cache stats",
     )
+    parser.add_argument(
+        "--predicted-frontier",
+        action="store_true",
+        help="frontier experiment only: sweep each graph's top-k "
+        "predicted kernels instead of the full field (report goes to "
+        "results/frontier_predicted.txt; full sweep stays the oracle)",
+    )
+    parser.add_argument(
+        "--topk",
+        type=int,
+        default=None,
+        help="predicted-frontier width (default REPRO_SELECT_TOPK)",
+    )
     args = parser.parse_args(argv)
+    if args.predicted_frontier and args.experiment != "frontier":
+        parser.error("--predicted-frontier only applies to 'frontier'")
+    if args.topk is not None and not args.predicted_frontier:
+        parser.error("--topk requires --predicted-frontier")
     if args.jobs is not None:
         os.environ["REPRO_JOBS"] = str(args.jobs)
 
@@ -78,6 +95,14 @@ def main(argv: list[str] | None = None) -> int:
             kwargs["max_edges"] = args.max_edges
         if args.subgraphs is not None and name in ("fig10", "table3"):
             kwargs["num_subgraphs"] = args.subgraphs
+        report_id = name
+        if name == "frontier" and args.predicted_frontier:
+            from ..select import default_topk
+
+            kwargs["top_k"] = (
+                args.topk if args.topk is not None else default_topk()
+            )
+            report_id = "frontier_predicted"
         t0 = time.time()  # lint: allow(wallclock) CLI progress display only; never enters reports
         result = runner(**kwargs)
         if hasattr(result, "render"):
@@ -85,7 +110,7 @@ def main(argv: list[str] | None = None) -> int:
         else:
             text = "\n\n".join(r.render() for r in result)
         print(text)
-        path = write_report(name, text, config=kwargs)
+        path = write_report(report_id, text, config=kwargs)
         print(f"[{name} done in {time.time() - t0:.1f}s -> {path}]\n")  # lint: allow(wallclock) progress display
         if args.timing:
             cs = estimate_cache_stats()

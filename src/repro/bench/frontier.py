@@ -1,0 +1,146 @@
+"""Selection frontier — the sweep surface the selection layer decides.
+
+The experiment behind ``--predicted-frontier``: rank the SpMM kernel
+field per Table-II graph, either exhaustively (the default — this is
+the *oracle* the nightly accuracy gate scores against) or restricted to
+the top-k candidates of the active :mod:`repro.select` policy.
+
+The report format is deliberately restriction-stable: rows depend only
+on which ``(graph, kernel)`` points were swept and on their (pure,
+deterministic) estimates — never on the frontier's width or on how it
+was chosen.  That makes the golden-equivalence contract testable as
+plain bytes: ``run_frontier(top_k=n).render()`` equals
+``restrict_result(run_frontier(), frontier).render()`` for the same
+per-graph frontier, because a kernel's estimate does not change with
+the company it was swept in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..engine import Engine
+from ..gpusim import DeviceSpec, TESLA_V100
+from ..graphs import FULL_GRAPH_ORDER, load_graph
+from .runner import SPMM_BASELINES, SweepResult, sweep_spmm
+from .tables import render_table
+
+#: The frontier's kernel field: HP plus every standard baseline —
+#: the same vocabulary the Fig. 9 comparison sweeps.
+FRONTIER_KERNELS: tuple[str, ...] = ("hp-spmm",) + SPMM_BASELINES
+
+
+@dataclass
+class FrontierResult:
+    """Per-graph kernel ranking over a (possibly restricted) frontier."""
+
+    sweep: SweepResult
+    graphs: list[str]
+    k: int
+    device: str
+    top_k: int | None                     #: None = full sweep (oracle)
+    frontier: dict                        #: graph -> swept kernel tuple
+    predicted: dict                       #: graph -> policy hit?
+
+    def render(self) -> str:
+        times = {
+            (r.graph, r.kernel): r for r in self.sweep.runs
+        }
+        rows = []
+        for g in self.graphs:
+            ranked = sorted(
+                (times[(g, kern)].time_s, kern)
+                for kern in self.frontier[g]
+                if (g, kern) in times
+            )
+            for rank, (t, kern) in enumerate(ranked, start=1):
+                run = times[(g, kern)]
+                rows.append([g, rank, kern, t * 1e6, run.gflops])
+        return render_table(
+            ["graph", "rank", "kernel", "time (us)", "gflops"],
+            rows,
+            title=(
+                f"Selection frontier — SpMM kernel field "
+                f"({self.device}, K={self.k})"
+            ),
+        )
+
+
+def restrict_result(
+    full: FrontierResult, frontier: dict
+) -> FrontierResult:
+    """The full-sweep result cut down to a per-graph frontier.
+
+    The byte-equivalence half of the oracle-vs-predictor contract:
+    restricting the oracle to the kernels a predicted run swept must
+    render identically to that predicted run.
+    """
+    keep = {
+        (g, kern) for g, kernels in frontier.items() for kern in kernels
+    }
+    sweep = SweepResult(
+        device=full.sweep.device,
+        k=full.sweep.k,
+        runs=[r for r in full.sweep.runs if (r.graph, r.kernel) in keep],
+        plans_checked=full.sweep.plans_checked,
+        plan_diagnostics=dict(full.sweep.plan_diagnostics),
+    )
+    return FrontierResult(
+        sweep=sweep,
+        graphs=list(full.graphs),
+        k=full.k,
+        device=full.device,
+        top_k=full.top_k,
+        frontier={g: tuple(kernels) for g, kernels in frontier.items()},
+        predicted=dict(full.predicted),
+    )
+
+
+def run_frontier(
+    *,
+    k: int = 64,
+    device: DeviceSpec = TESLA_V100,
+    graphs: tuple[str, ...] = FULL_GRAPH_ORDER,
+    max_edges: int | None = None,
+    top_k: int | None = None,
+) -> FrontierResult:
+    """Rank the kernel field per graph; ``top_k`` engages prediction.
+
+    ``top_k=None`` sweeps the whole field (the oracle).  With ``top_k``
+    set, each graph sweeps only its predicted top-k candidates; graphs
+    the policy declines (no model, ``REPRO_NO_SELECT=1``) fall back to
+    the full field — the sweep never silently shrinks below what the
+    policy actually promised.
+    """
+    named = [
+        (name, load_graph(name, max_edges=max_edges).matrix)
+        for name in graphs
+    ]
+    frontier: dict = {}
+    predicted: dict = {}
+    if top_k is None:
+        for gname, _ in named:
+            frontier[gname] = FRONTIER_KERNELS
+            predicted[gname] = False
+    else:
+        engine = Engine()
+        for gname, S in named:
+            sel = engine.select(
+                "spmm", graph=gname, matrix=S, k=k, device=device,
+                kernels=FRONTIER_KERNELS, top_k=top_k,
+            )
+            frontier[gname] = sel.kernels
+            predicted[gname] = sel.predicted
+    sweep = sweep_spmm(
+        named, FRONTIER_KERNELS, k=k, device=device,
+        kernels_by_graph=frontier,
+    )
+    return FrontierResult(
+        sweep=sweep,
+        graphs=[name for name, _ in named],
+        k=k,
+        device=device.name,
+        top_k=top_k,
+        frontier=frontier,
+        predicted=predicted,
+    )

@@ -114,16 +114,20 @@ def _sweep(
     k: int,
     device: DeviceSpec,
     jobs: int | None,
+    kernels_by_graph: dict | None = None,
 ) -> SweepResult:
     out = SweepResult(device=device.name, k=k)
     # Graphs-outer / kernels-inner: the engine groups requests per graph
     # (one fan-out unit each, evaluated in request order), reproducing
-    # the historical sweep order exactly.
+    # the historical sweep order exactly.  ``kernels_by_graph``
+    # restricts individual graphs to a chosen subset — the selection
+    # layer's predicted frontier — without perturbing this ordering.
     matrices = {gname: S for gname, S in graphs}
+    per_graph = kernels_by_graph or {}
     requests = [
         EstimateRequest(op=op, kernel=kname, graph=gname, k=k, device=device)
         for gname, _ in graphs
-        for kname in kernels
+        for kname in per_graph.get(gname, kernels)
     ]
     METRICS.inc("bench.sweeps")
     engine = Engine(_SWEEP_CONFIG, executor=PoolExecutor(jobs=jobs))
@@ -163,13 +167,19 @@ def sweep_spmm(
     k: int = 64,
     device: DeviceSpec = TESLA_V100,
     jobs: int | None = None,
+    kernels_by_graph: dict | None = None,
 ) -> SweepResult:
     """Timing-only SpMM sweep of ``kernels`` over named graphs.
 
     ``jobs`` (default: the ``REPRO_JOBS`` environment variable) fans
     per-graph work over a process pool; results keep graph order.
+    ``kernels_by_graph`` maps graph names to a kernel subset to sweep
+    there instead of ``kernels`` (the predicted-frontier path).
     """
-    return _sweep("spmm", graphs, kernels, k=k, device=device, jobs=jobs)
+    return _sweep(
+        "spmm", graphs, kernels, k=k, device=device, jobs=jobs,
+        kernels_by_graph=kernels_by_graph,
+    )
 
 
 def sweep_sddmm(

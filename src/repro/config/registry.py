@@ -37,7 +37,7 @@ VALID_TYPES = (TYPE_INT, TYPE_FLAG, TYPE_STR, TYPE_PATH, TYPE_CHOICE)
 #: Owning subsystems, in README table order.
 SUBSYSTEMS = (
     "graphs", "bench", "perf", "engine", "store", "obs", "serve", "world",
-    "tests",
+    "select", "tests",
 )
 
 
@@ -172,6 +172,23 @@ ENV_VARS: dict[str, EnvVar] = {
         EnvVar(
             "REPRO_WORLD_WORKERS", TYPE_INT, "0", "world",
             "shard workers for the world sweep (`0`/`1` = inline dispatch)",
+        ),
+        # -- select ------------------------------------------------------
+        EnvVar(
+            "REPRO_SELECT_MODEL", TYPE_PATH, "packaged default model",
+            "select",
+            "selection-model JSON the active policy loads (default: the "
+            "in-repo model fit from the seed-0 240-config universe)",
+        ),
+        EnvVar(
+            "REPRO_SELECT_TOPK", TYPE_INT, "3", "select",
+            "predicted-frontier width: candidates kept per graph when a "
+            "caller asks for the top-k predicted configs",
+        ),
+        EnvVar(
+            "REPRO_NO_SELECT", TYPE_FLAG, "off", "select",
+            "set to `1` to disable the selection policy everywhere "
+            "(callers use their historical full-sweep/EWMA paths)",
         ),
         # -- tests -------------------------------------------------------
         EnvVar(

@@ -43,6 +43,7 @@ from .core import (
     EstimateRequest,
     EstimateResult,
     PlanCheckError,
+    Selection,
     default_engine,
     estimate_caching_enabled,
     plan_checking_enabled,
@@ -85,6 +86,7 @@ __all__ = [
     "PoolExecutor",
     "STATUS_ERROR",
     "STATUS_OK",
+    "Selection",
     "ShardedExecutor",
     "VALID_BOUNDS",
     "VALID_OPS",

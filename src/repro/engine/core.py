@@ -42,11 +42,13 @@ from ..graphs import load_graph
 from ..obs import METRICS, trace_span
 from ..obs.tracer import get_tracer
 from ..perf.estimate_cache import cache_enabled
+from ..perf.fingerprint import structural_features
+from ..select.policy import Candidate, active_policy, default_topk
 from ..store import StoreError, StoreHandle, get_store, store_enabled
 from .bounds import VALID_BOUNDS
 from .executors import Executor, InlineExecutor
 from .priors import cost_priors
-from .registry import VALID_OPS, make_kernel
+from .registry import VALID_OPS, make_kernel, valid_kernels
 
 #: Result statuses.  ``error`` only appears under ``capture_errors``.
 STATUS_OK = "ok"
@@ -155,6 +157,36 @@ class BatchResult:
         for res in self.results:
             grouped.setdefault(res.request.graph, []).append(res)
         return grouped
+
+
+@dataclass(frozen=True)
+class Selection:
+    """What the selection layer decided to run for one matrix.
+
+    ``requests`` are ready-made plan-stage requests: the predicted
+    top-k on a policy hit, or the full kernel field on a miss — so a
+    caller can hand them straight to :meth:`Engine.estimate_batch`
+    either way.  ``candidates`` always carries the *complete* ranked
+    field (not just top-k) for reporting and regret accounting;
+    predicted schedules (NnzPerWarp / vector width of the matched
+    region) ride on each candidate and deliberately do **not** become
+    ``kernel_kwargs``: requests keep default kernel configs so
+    predicted-frontier results stay byte-comparable with full sweeps.
+    """
+
+    op: str
+    graph: str | None
+    k: int
+    device: DeviceSpec
+    predicted: bool                       #: policy covered this query
+    policy: str                           #: policy name ("model"/"null")
+    candidates: tuple[Candidate, ...]     #: full ranked field
+    requests: tuple[EstimateRequest, ...]  #: what to actually run
+
+    @property
+    def kernels(self) -> tuple[str, ...]:
+        """Kernel names of :attr:`requests`, in rank order."""
+        return tuple(r.kernel for r in self.requests)
 
 
 @dataclass(frozen=True)
@@ -480,6 +512,75 @@ class Engine:
                 METRICS.inc(f"plan_check.diag_{sev}", n)
         return out
 
+    def select(
+        self,
+        op: str,
+        *,
+        graph: str | None = None,
+        matrix: HybridMatrix | None = None,
+        k: int = 64,
+        device: str | DeviceSpec = "v100",
+        kernels=None,
+        top_k: int | None = None,
+        max_edges: int | None = None,
+    ) -> Selection:
+        """Resolve the active selection policy into runnable requests.
+
+        The one entry point for "what should run on this matrix?": the
+        matrix resolves exactly as in :meth:`estimate_batch` (registry
+        name or caller-supplied), its structural features go to
+        :func:`repro.select.active_policy`, and the answer comes back
+        as plan-stage :class:`EstimateRequest` objects.  On a policy
+        hit the requests are the top ``top_k`` (default
+        ``REPRO_SELECT_TOPK``) predicted candidates, counted as
+        ``select.hits``; when the policy declines — no model, wrong
+        op, ``REPRO_NO_SELECT=1`` — the requests are the full kernel
+        field in registry order, counted as ``select.misses``, which
+        is precisely the historical full sweep.
+        """
+        device_spec = (
+            device if isinstance(device, DeviceSpec) else get_device(device)
+        )
+        names = list(kernels) if kernels else valid_kernels(op)
+        S = self._resolve_matrix(graph, max_edges, None, matrix)
+        ranked = active_policy().rank(
+            op, structural_features(S), kernels=names
+        )
+        METRICS.inc("select.requests")
+        if ranked is None:
+            METRICS.inc("select.misses")
+            candidates = tuple(
+                Candidate(
+                    kernel=name, nnz_per_warp=None, vector_width=None,
+                    score=0.0,
+                )
+                for name in names
+            )
+            chosen = candidates
+            predicted, policy = False, "null"
+        else:
+            METRICS.inc("select.hits")
+            candidates = tuple(ranked)
+            keep = default_topk() if top_k is None else top_k
+            chosen = candidates[: max(1, keep)]
+            predicted, policy = True, "model"
+        return Selection(
+            op=op,
+            graph=graph,
+            k=k,
+            device=device_spec,
+            predicted=predicted,
+            policy=policy,
+            candidates=candidates,
+            requests=tuple(
+                EstimateRequest(
+                    op=op, kernel=c.kernel, graph=graph, k=k,
+                    device=device_spec, max_edges=max_edges,
+                )
+                for c in chosen
+            ),
+        )
+
     # -- plan stage -----------------------------------------------------
     def _plan(
         self,
@@ -607,6 +708,7 @@ __all__ = [
     "PlanCheckError",
     "STATUS_ERROR",
     "STATUS_OK",
+    "Selection",
     "default_engine",
     "estimate_caching_enabled",
     "plan_checking_enabled",

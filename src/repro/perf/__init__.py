@@ -20,9 +20,12 @@ from .estimate_cache import (
     get_estimate_cache,
 )
 from .fingerprint import (
+    FEATURE_NAMES,
     dataclass_fingerprint,
+    feature_vector,
     kernel_config_fingerprint,
     matrix_fingerprint,
+    structural_features,
 )
 from .parallel import parallel_map, resolve_jobs
 
@@ -33,9 +36,12 @@ __all__ = [
     "cached_estimate",
     "estimate_cache_stats",
     "get_estimate_cache",
+    "FEATURE_NAMES",
     "dataclass_fingerprint",
+    "feature_vector",
     "kernel_config_fingerprint",
     "matrix_fingerprint",
+    "structural_features",
     "parallel_map",
     "resolve_jobs",
 ]

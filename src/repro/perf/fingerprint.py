@@ -111,6 +111,76 @@ def dataclass_fingerprint(obj) -> str:
         return "|".join(parts)
 
 
+#: Canonical feature order for selection models and world training rows.
+#: Appending is safe (models record the names they were trained with);
+#: reordering or renaming breaks every serialized model, so don't.
+FEATURE_NAMES = (
+    "nodes",
+    "nnz",
+    "density",
+    "degree_mean",
+    "degree_std",
+    "degree_cv",
+    "degree_max",
+    "degree_p99",
+    "frac_heavy_rows",
+    "frac_empty_rows",
+)
+
+
+def structural_features(S) -> dict:
+    """Structure-only feature row for one matrix, JSON-ready.
+
+    Degree dispersion (cv), tail mass (p99 / heavy-row fraction) and
+    density are the axes the paper's own sensitivity study (Fig. 12)
+    shows drive kernel crossovers; empty-row fraction separates the
+    row-parallel baselines, which pay for rows they skip.  Everything is
+    a deterministic function of the sparsity structure — the same
+    quantities the estimate-cache fingerprint keys on — so rows are
+    byte-stable across runs and processes, and a selection model trained
+    on one sweep's rows applies to any matrix with those statistics.
+
+    Duck-typed on ``shape`` / ``nnz`` / ``row_degrees()`` so the perf
+    layer stays import-free of :mod:`repro.graphs`.
+    """
+    n = int(S.shape[0])
+    deg = S.row_degrees()
+    if deg.size:
+        mean = float(deg.mean())
+        std = float(deg.std())
+        cv = std / mean if mean else 0.0
+        dmax = int(deg.max())
+        p99 = float(np.quantile(deg, 0.99))
+        heavy = float(np.mean(deg > 4.0 * mean)) if mean else 0.0
+        empty = float(np.mean(deg == 0))
+    else:
+        mean = std = cv = 0.0
+        dmax = 0
+        p99, heavy, empty = 0.0, 0.0, 0.0
+    return {
+        "nodes": n,
+        "nnz": int(S.nnz),
+        "density": float(S.nnz / (n * n)) if n else 0.0,
+        "degree_mean": mean,
+        "degree_std": std,
+        "degree_cv": cv,
+        "degree_max": dmax,
+        "degree_p99": p99,
+        "frac_heavy_rows": heavy,
+        "frac_empty_rows": empty,
+    }
+
+
+def feature_vector(features: dict) -> list[float]:
+    """Flatten a :func:`structural_features` dict into FEATURE_NAMES order.
+
+    The float list is what selection models consume and what world
+    reports store per training row; keeping the flattening here (next to
+    the order it encodes) means no caller hand-rolls its own ordering.
+    """
+    return [float(features[name]) for name in FEATURE_NAMES]
+
+
 #: id(kernel) -> (weakref, fingerprint); same shape as _MATRIX_MEMO.
 #: Kernel instances are immutable after __init__ (no method assigns
 #: attributes), so memoizing per live object is safe.

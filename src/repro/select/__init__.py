@@ -1,0 +1,73 @@
+"""Input-aware kernel selection (ROADMAP: "kernel auto-selection").
+
+The paper's DTP/HVMA machinery picks a *schedule* from structure alone;
+this package does the same for the *kernel*: a small decision tree
+(CART) fit offline from :mod:`repro.world` full-sweep oracles maps
+structural features (degree cv/p99, heavy-row fractions, density) to a
+ranked candidate list.  Three pillars:
+
+* :mod:`repro.select.dataset` — training rows extracted from world
+  reports (the report's first-class ``"training"`` block);
+* :mod:`repro.select.model` — the deterministic CART: fit, evaluate
+  (top-1 accuracy + mean regret vs the oracle), JSON round-trip;
+* :mod:`repro.select.policy` — the :class:`SelectionPolicy` interface
+  every "what should run?" call site resolves through, with the
+  degrade contract: no model, wrong op, or ``REPRO_NO_SELECT=1`` means
+  callers behave bit-for-bit as before selection existed.
+
+``python -m repro.select --fit/--eval`` is the offline training CLI.
+"""
+
+from .dataset import (
+    ROWS_SCHEMA,
+    load_training_rows,
+    rows_from_report,
+    training_block,
+    training_rows,
+)
+from .model import (
+    SCHEMA,
+    ModelFormatError,
+    SelectionModel,
+    evaluate_model,
+    fit_model,
+    load_model,
+    save_model,
+)
+from .policy import (
+    DEFAULT_MODEL_PATH,
+    Candidate,
+    ModelPolicy,
+    NullPolicy,
+    SelectionPolicy,
+    active_policy,
+    default_topk,
+    model_path,
+    reset_policy,
+    select_enabled,
+)
+
+__all__ = [
+    "Candidate",
+    "DEFAULT_MODEL_PATH",
+    "ModelFormatError",
+    "ModelPolicy",
+    "NullPolicy",
+    "ROWS_SCHEMA",
+    "SCHEMA",
+    "SelectionModel",
+    "SelectionPolicy",
+    "active_policy",
+    "default_topk",
+    "evaluate_model",
+    "fit_model",
+    "load_model",
+    "load_training_rows",
+    "model_path",
+    "reset_policy",
+    "rows_from_report",
+    "save_model",
+    "select_enabled",
+    "training_block",
+    "training_rows",
+]

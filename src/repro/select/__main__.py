@@ -1,0 +1,174 @@
+"""CLI: fit, evaluate and inspect selection models.
+
+Usage::
+
+    python -m repro.select --fit results/world_nightly.json \\
+        --out results/select_model.json
+    python -m repro.select --eval results/world_nightly.json \\
+        --model results/select_model.json --min-top1 0.8 --json
+    python -m repro.select --show
+
+``--fit`` trains the deterministic CART from one or more world reports
+(same reports in any order -> byte-identical model file).  ``--eval``
+scores a model against reports' full-sweep oracle: top-1 accuracy and
+mean regret (predicted total / oracle-winner total - 1).  ``--min-top1``
+turns the evaluation into a gate: exit 1 below the threshold — the
+nightly CI accuracy gate is exactly this flag.  ``--show`` prints the
+active model's summary (the packaged default unless
+``REPRO_SELECT_MODEL`` points elsewhere).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from .dataset import load_training_rows
+from .model import evaluate_model, fit_model, load_model, save_model
+from .policy import model_path
+
+
+def _report_meta(paths: list[str]) -> dict:
+    """(op is spmm-only today) k/device metadata if the reports agree."""
+    ks, devices = set(), set()
+    for path in paths:
+        with open(path) as f:
+            world = json.load(f).get("world", {})
+        ks.add(world.get("k"))
+        devices.add(world.get("device"))
+    return {
+        "k": ks.pop() if len(ks) == 1 else None,
+        "device": devices.pop() if len(devices) == 1 else None,
+    }
+
+
+def _print_eval(result: dict, *, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+        return
+    print(
+        f"top-1 accuracy: {result['top1_accuracy']:.3f} "
+        f"({result['top1_correct']}/{result['points']})"
+    )
+    print(
+        f"mean regret:    {result['mean_regret']:.4f} "
+        f"over {result['regret_points']} priced point(s)"
+    )
+    if result["unpriced"]:
+        print(f"unpriced:       {result['unpriced']} point(s)")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.select",
+        description=(
+            "Train and evaluate the input-aware kernel selection model "
+            "from world-sweep reports."
+        ),
+    )
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--fit", nargs="+", metavar="REPORT",
+        help="fit a model from these results/world_*.json reports",
+    )
+    mode.add_argument(
+        "--eval", nargs="+", metavar="REPORT",
+        help="score a model against these reports' full-sweep oracle",
+    )
+    mode.add_argument(
+        "--show", action="store_true",
+        help="print the active model's summary",
+    )
+    parser.add_argument(
+        "--out", default="results/select_model.json",
+        help="model output path for --fit",
+    )
+    parser.add_argument(
+        "--model", default=None,
+        help="model path for --eval/--show (default: the active model)",
+    )
+    parser.add_argument(
+        "--op", default="spmm", help="operation the model selects for"
+    )
+    parser.add_argument(
+        "--max-depth", type=int, default=10, help="CART depth cap"
+    )
+    parser.add_argument(
+        "--min-leaf", type=int, default=1, help="minimum rows per leaf"
+    )
+    parser.add_argument(
+        "--min-top1", type=float, default=None,
+        help="with --eval: exit 1 when top-1 accuracy is below this",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="with --eval: machine-readable JSON to stdout",
+    )
+    args = parser.parse_args(argv)
+
+    if args.fit:
+        rows, sources = load_training_rows(args.fit)
+        if not rows:
+            print("error: reports contain no labeled points", file=sys.stderr)
+            return 1
+        meta = _report_meta(args.fit)
+        model = fit_model(
+            rows,
+            op=args.op,
+            k=meta["k"],
+            device=meta["device"],
+            max_depth=args.max_depth,
+            min_leaf=args.min_leaf,
+            sources=tuple(sources),
+        )
+        path = save_model(model, args.out)
+        stats = model.stats
+        print(
+            f"[fit {args.op} model: {stats['points']} rows from "
+            f"{len(sources)} report(s) -> {path}; "
+            f"{stats['leaves']} leaves, depth {stats['depth']}, "
+            f"train top-1 {stats['top1_train']:.3f}]"
+        )
+        return 0
+
+    path = args.model or model_path()
+    try:
+        model = load_model(path)
+    except Exception as exc:  # noqa: BLE001 - CLI surface, report and exit
+        print(f"error: cannot load model {path}: {exc}", file=sys.stderr)
+        return 1
+
+    if args.show:
+        stats = model.stats
+        print(f"model:    {path}")
+        print(f"op:       {model.op}")
+        print(f"kernels:  {', '.join(model.kernels)}")
+        print(f"trained:  {', '.join(model.data.get('trained_on', [])) or '-'}")
+        print(
+            f"tree:     {stats.get('leaves')} leaves, "
+            f"depth {stats.get('depth')}, {stats.get('points')} rows, "
+            f"train top-1 {stats.get('top1_train', 0.0):.3f}"
+        )
+        return 0
+
+    rows, _ = load_training_rows(args.eval)
+    if not rows:
+        print("error: reports contain no labeled points", file=sys.stderr)
+        return 1
+    result = evaluate_model(model, rows)
+    result["model"] = os.path.basename(path)
+    _print_eval(result, as_json=args.json)
+    if args.min_top1 is not None and result["top1_accuracy"] < args.min_top1:
+        print(
+            f"error: top-1 accuracy {result['top1_accuracy']:.3f} is below "
+            f"the {args.min_top1:.3f} gate",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,97 @@
+"""Training rows for selection models, extracted from world reports.
+
+A training row is the selector's entire worldview of one config: the
+structural feature vector (in :data:`~repro.perf.FEATURE_NAMES` order),
+the oracle winner and its margin from the full sweep, the DTP/HVMA
+schedule chosen at that point, and every kernel's total time (so
+evaluation can price a wrong pick as *regret*, not just a miss).
+
+The extraction is defined here — not in :mod:`repro.world` — so the
+selection layer owns the row schema end to end: the world report embeds
+``training_block(...)`` verbatim as its ``"training"`` key, and
+``--fit`` reads the same shape back.  Nothing in this module imports
+:mod:`repro.world` (the dependency points the other way), so the model
+and policy stay loadable in processes that never touch the sweep stack.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from ..perf.fingerprint import FEATURE_NAMES, feature_vector
+
+#: Training-row schema version, embedded in world reports and models.
+ROWS_SCHEMA = "repro.select.rows/v1"
+
+
+def training_rows(points: list[dict]) -> list[dict]:
+    """Rows from serialized world points (``WorldPoint.to_dict`` dicts).
+
+    Points with no winner (every kernel errored) carry no label and are
+    dropped; ``times`` keeps only ``ok`` kernels so regret is always
+    computed against real totals.
+    """
+    rows: list[dict] = []
+    for point in points:
+        winner = point.get("winner")
+        if winner is None:
+            continue
+        times = {
+            name: rec["total_time_s"]
+            for name, rec in point["kernels"].items()
+            if rec.get("status") == "ok"
+        }
+        partition = point.get("partition", {})
+        rows.append(
+            {
+                "name": point["config"]["name"],
+                "x": feature_vector(point["features"]),
+                "winner": winner,
+                "margin": point.get("margin"),
+                "nnz_per_warp": partition.get("nnz_per_warp"),
+                "vector_width": partition.get("vector_width"),
+                "times": times,
+            }
+        )
+    return rows
+
+
+def training_block(points: list[dict]) -> dict:
+    """The world report's ``"training"`` payload for these points."""
+    return {
+        "schema": ROWS_SCHEMA,
+        "feature_names": list(FEATURE_NAMES),
+        "rows": training_rows(points),
+    }
+
+
+def rows_from_report(report: dict) -> list[dict]:
+    """Rows from one parsed world report.
+
+    Prefers the first-class ``"training"`` block; falls back to deriving
+    rows from ``"points"`` so models can still be fit from reports
+    written before the block existed.
+    """
+    training = report.get("training")
+    if training is not None:
+        return list(training["rows"])
+    return training_rows(report.get("points", []))
+
+
+def load_training_rows(paths) -> tuple[list[dict], list[str]]:
+    """Rows from world-report files, plus sorted source basenames.
+
+    Row order is (sorted input basename, report point order) — a pure
+    function of the report *contents*, so fitting from the same sweeps
+    in any argument order yields byte-identical models.
+    """
+    by_base: dict[str, list[dict]] = {}
+    for path in paths:
+        with open(path) as f:
+            report = json.load(f)
+        by_base[os.path.basename(path)] = rows_from_report(report)
+    rows: list[dict] = []
+    for base in sorted(by_base):
+        rows.extend(by_base[base])
+    return rows, sorted(by_base)

@@ -1,0 +1,318 @@
+"""The selection model: a small deterministic CART over world sweeps.
+
+A classification tree over the structural feature vector, fit offline
+from full-sweep oracle winners and serialized as JSON in-repo — the
+dependency-free analogue of AutoSAGE's input-aware scheduler.  Leaves
+carry the *full* ranked kernel field (win counts, win share, mean
+total time) plus the modal DTP/HVMA schedule of their region, so a
+prediction is a ranked candidate list, not a single label — exactly
+what a top-k predicted frontier needs.
+
+Everything here is deterministic by construction: splits are chosen by
+exact Gini gain with ``(feature index, threshold)`` tie-breaks,
+aggregate statistics are computed in fixed row order, and serialization
+is ``sort_keys`` JSON of round-trippable floats.  Fitting twice from
+the same world data yields byte-identical model files (CI asserts this
+with a straight ``cmp``), and a reloaded model predicts identically to
+the in-memory one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from ..perf.fingerprint import FEATURE_NAMES, feature_vector
+
+#: Model file schema version.
+SCHEMA = "repro.select/v1"
+
+#: Gains at or below this are noise, not structure: stop splitting.
+_MIN_GAIN = 1e-12
+
+DEFAULT_MAX_DEPTH = 10
+DEFAULT_MIN_LEAF = 1
+
+
+class ModelFormatError(ValueError):
+    """A model file failed schema validation."""
+
+
+def _gini(labels: list[str]) -> float:
+    n = len(labels)
+    if n == 0:
+        return 0.0
+    counts: dict[str, int] = {}
+    for lab in labels:
+        counts[lab] = counts.get(lab, 0) + 1
+    return 1.0 - sum((c / n) ** 2 for c in counts.values())
+
+
+def _modal(values: list[int]) -> int | None:
+    """Most frequent value; ties break toward the smallest value."""
+    present = [v for v in values if v is not None]
+    if not present:
+        return None
+    counts: dict[int, int] = {}
+    for v in present:
+        counts[v] = counts.get(v, 0) + 1
+    return min(counts, key=lambda v: (-counts[v], v))
+
+
+def _leaf(rows: list[dict], nnz_index: int) -> dict:
+    """Leaf payload: ranked kernel field + modal schedule for the region."""
+    n = len(rows)
+    wins: dict[str, int] = {}
+    time_sum: dict[str, float] = {}
+    time_cnt: dict[str, int] = {}
+    for row in rows:
+        wins[row["winner"]] = wins.get(row["winner"], 0) + 1
+        for kernel, t in row["times"].items():
+            time_sum[kernel] = time_sum.get(kernel, 0.0) + t
+            time_cnt[kernel] = time_cnt.get(kernel, 0) + 1
+    mean_time = {k: time_sum[k] / time_cnt[k] for k in time_sum}
+    # Rank the whole field seen at this leaf: winners first (by win
+    # count), the rest by mean total time — so candidates beyond top-1
+    # are the region's actual runners-up, not alphabetical filler.
+    ranking = [
+        {
+            "kernel": kernel,
+            "wins": wins.get(kernel, 0),
+            "share": wins.get(kernel, 0) / n,
+            "mean_total_s": mean_time[kernel],
+        }
+        for kernel in sorted(
+            mean_time,
+            key=lambda name: (-wins.get(name, 0), mean_time[name], name),
+        )
+    ]
+    return {
+        "leaf": {
+            "n": n,
+            "mean_nnz": sum(r["x"][nnz_index] for r in rows) / n,
+            "nnz_per_warp": _modal([r["nnz_per_warp"] for r in rows]),
+            "vector_width": _modal([r["vector_width"] for r in rows]),
+            "ranking": ranking,
+        }
+    }
+
+
+def _build(
+    rows: list[dict],
+    depth: int,
+    *,
+    max_depth: int,
+    min_leaf: int,
+    num_features: int,
+    nnz_index: int,
+) -> dict:
+    labels = [r["winner"] for r in rows]
+    if (
+        depth >= max_depth
+        or len(rows) < 2 * min_leaf
+        or len(set(labels)) == 1
+    ):
+        return _leaf(rows, nnz_index)
+    parent = _gini(labels)
+    n = len(rows)
+    best = None  # ((-gain, feature, threshold), feature, threshold, lo, hi)
+    for f in range(num_features):
+        values = sorted({r["x"][f] for r in rows})
+        for a, b in zip(values, values[1:]):
+            t = (a + b) / 2.0
+            lo = [r for r in rows if r["x"][f] <= t]
+            hi = [r for r in rows if r["x"][f] > t]
+            if len(lo) < min_leaf or len(hi) < min_leaf:
+                continue
+            gain = parent - (
+                len(lo) * _gini([r["winner"] for r in lo])
+                + len(hi) * _gini([r["winner"] for r in hi])
+            ) / n
+            key = (-gain, f, t)
+            if best is None or key < best[0]:
+                best = (key, f, t, lo, hi)
+    if best is None or -best[0][0] <= _MIN_GAIN:
+        return _leaf(rows, nnz_index)
+    _, f, t, lo, hi = best
+    child = dict(
+        max_depth=max_depth, min_leaf=min_leaf,
+        num_features=num_features, nnz_index=nnz_index,
+    )
+    return {
+        "f": f,
+        "t": t,
+        "lo": _build(lo, depth + 1, **child),
+        "hi": _build(hi, depth + 1, **child),
+    }
+
+
+def _tree_stats(node: dict) -> tuple[int, int]:
+    """``(leaves, depth)`` of a serialized tree."""
+    if "leaf" in node:
+        return 1, 0
+    ll, dl = _tree_stats(node["lo"])
+    lh, dh = _tree_stats(node["hi"])
+    return ll + lh, 1 + max(dl, dh)
+
+
+class SelectionModel:
+    """A fitted (or reloaded) selection model over one op's kernels."""
+
+    def __init__(self, data: dict) -> None:
+        if data.get("schema") != SCHEMA:
+            raise ModelFormatError(
+                f"expected schema {SCHEMA!r}, got {data.get('schema')!r}"
+            )
+        for key in ("op", "feature_names", "kernels", "tree", "mean_nnz"):
+            if key not in data:
+                raise ModelFormatError(f"model is missing {key!r}")
+        if list(data["feature_names"]) != list(FEATURE_NAMES):
+            raise ModelFormatError(
+                "model feature names do not match this build's "
+                f"FEATURE_NAMES: {data['feature_names']}"
+            )
+        self.data = data
+
+    # -- accessors ------------------------------------------------------
+    @property
+    def op(self) -> str:
+        return self.data["op"]
+
+    @property
+    def kernels(self) -> list[str]:
+        return list(self.data["kernels"])
+
+    @property
+    def mean_nnz(self) -> float:
+        return float(self.data["mean_nnz"])
+
+    @property
+    def stats(self) -> dict:
+        return dict(self.data.get("stats", {}))
+
+    # -- prediction -----------------------------------------------------
+    def leaf_for_x(self, x: list[float]) -> dict:
+        """Walk the tree with a FEATURE_NAMES-ordered vector."""
+        node = self.data["tree"]
+        while "leaf" not in node:
+            node = node["lo"] if x[node["f"]] <= node["t"] else node["hi"]
+        return node["leaf"]
+
+    def leaf_for(self, features: dict) -> dict:
+        """Walk the tree with a :func:`structural_features` dict."""
+        return self.leaf_for_x(feature_vector(features))
+
+    # -- serialization --------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(self.data, indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "SelectionModel":
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise ModelFormatError(f"model is not valid JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise ModelFormatError("model JSON must be an object")
+        return cls(data)
+
+
+def fit_model(
+    rows: list[dict],
+    *,
+    op: str = "spmm",
+    k: int | None = None,
+    device: str | None = None,
+    max_depth: int = DEFAULT_MAX_DEPTH,
+    min_leaf: int = DEFAULT_MIN_LEAF,
+    sources: tuple[str, ...] = (),
+) -> SelectionModel:
+    """Fit a CART from training rows (see :mod:`repro.select.dataset`).
+
+    Pure function of ``(rows, parameters)``: no clocks, no randomness,
+    no host identity — the determinism contract the model-file ``cmp``
+    gate in CI rests on.
+    """
+    if not rows:
+        raise ValueError("cannot fit a selection model from zero rows")
+    if max_depth < 1:
+        raise ValueError("max_depth must be >= 1")
+    if min_leaf < 1:
+        raise ValueError("min_leaf must be >= 1")
+    nnz_index = FEATURE_NAMES.index("nnz")
+    tree = _build(
+        rows, 0,
+        max_depth=max_depth, min_leaf=min_leaf,
+        num_features=len(FEATURE_NAMES), nnz_index=nnz_index,
+    )
+    kernels = sorted({k for r in rows for k in r["times"]})
+    leaves, depth = _tree_stats(tree)
+    model = SelectionModel(
+        {
+            "schema": SCHEMA,
+            "op": op,
+            "k": k,
+            "device": device,
+            "feature_names": list(FEATURE_NAMES),
+            "kernels": kernels,
+            "mean_nnz": sum(r["x"][nnz_index] for r in rows) / len(rows),
+            "params": {"max_depth": max_depth, "min_leaf": min_leaf},
+            "trained_on": list(sources),
+            "stats": {"points": len(rows), "leaves": leaves, "depth": depth},
+            "tree": tree,
+        }
+    )
+    train_eval = evaluate_model(model, rows)
+    model.data["stats"]["top1_train"] = train_eval["top1_accuracy"]
+    return model
+
+
+def evaluate_model(model: SelectionModel, rows: list[dict]) -> dict:
+    """Top-1 accuracy and mean regret of a model against oracle rows.
+
+    Regret prices a miss by its cost, not just its existence:
+    ``times[predicted] / times[winner] - 1`` per row (0.0 when the
+    prediction is the oracle winner), averaged over every row whose
+    sweep actually timed the predicted kernel.  Rows where the
+    predicted kernel has no oracle time (it errored in the sweep) are
+    reported as ``unpriced`` rather than silently skewing the mean.
+    """
+    correct = 0
+    regrets: list[float] = []
+    unpriced = 0
+    for row in rows:
+        predicted = model.leaf_for_x(row["x"])["ranking"][0]["kernel"]
+        if predicted == row["winner"]:
+            correct += 1
+        times = row["times"]
+        winner_t = times.get(row["winner"])
+        if predicted in times and winner_t:
+            regrets.append(times[predicted] / winner_t - 1.0)
+        else:
+            unpriced += 1
+    n = len(rows)
+    return {
+        "points": n,
+        "top1_correct": correct,
+        "top1_accuracy": correct / n if n else 0.0,
+        "mean_regret": sum(regrets) / len(regrets) if regrets else 0.0,
+        "regret_points": len(regrets),
+        "unpriced": unpriced,
+    }
+
+
+def load_model(path: str) -> SelectionModel:
+    """Load and validate a model file; raises on absent/corrupt files."""
+    with open(path) as f:
+        return SelectionModel.from_json(f.read())
+
+
+def save_model(model: SelectionModel, path: str) -> str:
+    """Atomically write a model file; returns the path."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w") as f:
+        f.write(model.to_json())
+    os.replace(tmp, path)
+    return path

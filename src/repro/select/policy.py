@@ -1,0 +1,180 @@
+"""The SelectionPolicy interface: one answer to "what should run?".
+
+Every call path that used to decide for itself — bench sweeping every
+kernel, serve triaging on a cold-start EWMA — now asks the active
+policy first.  A policy either *covers* a query (it has a trained model
+for the op) and returns a ranked candidate list, or it doesn't and the
+caller degrades to exactly its historical behavior: full sweep, plain
+EWMA.  That degrade contract is the load-bearing guarantee — with
+``REPRO_NO_SELECT=1``, or with no loadable model, every caller is
+bit-for-bit the pre-selection code path.
+
+Resolution order for the model file: ``REPRO_SELECT_MODEL`` if set,
+else the packaged ``default_model.json`` trained from the seed-0
+240-config world universe.  Load failures are counted
+(``select.model_errors``) and cached as the null policy, so a corrupt
+file costs one failed parse per process, not one per request.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..config import env_flag, env_int, env_str
+from ..obs import METRICS
+from .model import SelectionModel, load_model
+
+#: The in-repo model fit from the nightly universe (seed 0, 240 configs).
+DEFAULT_MODEL_PATH = os.path.join(
+    os.path.dirname(__file__), "default_model.json"
+)
+
+#: Cost-scale clamp: a leaf's nnz ratio outside this band says the
+#: query is far off the training distribution — cap the extrapolation.
+_COST_SCALE_MIN = 0.125
+_COST_SCALE_MAX = 8.0
+
+
+def select_enabled() -> bool:
+    """Selection kill switch: off when ``REPRO_NO_SELECT=1``."""
+    return not env_flag("REPRO_NO_SELECT")
+
+
+def model_path() -> str:
+    """The model file the active policy loads (``REPRO_SELECT_MODEL``)."""
+    return env_str("REPRO_SELECT_MODEL") or DEFAULT_MODEL_PATH
+
+
+def default_topk() -> int:
+    """Env default for predicted-frontier width (``REPRO_SELECT_TOPK``)."""
+    return env_int("REPRO_SELECT_TOPK", 3)
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One ranked thing-to-run: kernel plus its region's schedule."""
+
+    kernel: str
+    nnz_per_warp: int | None  #: modal DTP slice size in the leaf region
+    vector_width: int | None  #: modal HVMA width in the leaf region
+    score: float              #: leaf win share (0.0 for backfilled names)
+
+
+class SelectionPolicy:
+    """Interface: rank candidates for a feature vector, or decline."""
+
+    name = "null"
+
+    def covers(self, op: str) -> bool:
+        """Whether :meth:`rank` can answer for this op at all."""
+        return False
+
+    def rank(
+        self, op: str, features: dict, *, kernels=None
+    ) -> list[Candidate] | None:
+        """Ranked candidates for one matrix, or ``None`` when uncovered.
+
+        ``kernels`` restricts (and backfills) the candidate universe:
+        every requested kernel appears exactly once in the result, with
+        names the model never saw appended alphabetically at score 0 —
+        a top-k cut of the result is then always a valid frontier over
+        the caller's kernel set.
+        """
+        return None
+
+    def cost_scale(self, features: dict) -> float | None:
+        """Relative batch-cost factor vs the training mean, or ``None``.
+
+        Serve admission multiplies its cold-start EWMA by this: the
+        EWMA tracks mean per-signature seconds *at the training
+        distribution's mean nnz*, and simulated estimate cost is close
+        to linear in traversed nonzeros.
+        """
+        return None
+
+
+class NullPolicy(SelectionPolicy):
+    """Selection disabled or no model: every caller uses its old path."""
+
+
+class ModelPolicy(SelectionPolicy):
+    """A loaded :class:`~repro.select.model.SelectionModel` as a policy."""
+
+    name = "model"
+
+    def __init__(self, model: SelectionModel) -> None:
+        self.model = model
+
+    def covers(self, op: str) -> bool:
+        return op == self.model.op
+
+    def rank(
+        self, op: str, features: dict, *, kernels=None
+    ) -> list[Candidate] | None:
+        if op != self.model.op:
+            return None
+        leaf = self.model.leaf_for(features)
+        wanted = None if kernels is None else set(kernels)
+        out = [
+            Candidate(
+                kernel=entry["kernel"],
+                nnz_per_warp=leaf["nnz_per_warp"],
+                vector_width=leaf["vector_width"],
+                score=entry["share"],
+            )
+            for entry in leaf["ranking"]
+            if wanted is None or entry["kernel"] in wanted
+        ]
+        if wanted is not None:
+            ranked = {c.kernel for c in out}
+            out.extend(
+                Candidate(
+                    kernel=name,
+                    nnz_per_warp=leaf["nnz_per_warp"],
+                    vector_width=leaf["vector_width"],
+                    score=0.0,
+                )
+                for name in sorted(wanted - ranked)
+            )
+        return out
+
+    def cost_scale(self, features: dict) -> float | None:
+        mean_nnz = self.model.mean_nnz
+        if mean_nnz <= 0:
+            return None
+        scale = self.model.leaf_for(features)["mean_nnz"] / mean_nnz
+        return min(max(scale, _COST_SCALE_MIN), _COST_SCALE_MAX)
+
+
+_NULL = NullPolicy()
+
+#: path -> loaded policy (or the null policy after a failed load).
+_POLICY_CACHE: dict[str, SelectionPolicy] = {}
+
+
+def active_policy() -> SelectionPolicy:
+    """The process-wide policy under the current environment.
+
+    Re-reads the environment on every call (the reads are two dict
+    lookups), so tests and long-lived servers pick up changes to
+    ``REPRO_NO_SELECT`` / ``REPRO_SELECT_MODEL`` without restarts;
+    only the parsed model file is cached.
+    """
+    if not select_enabled():
+        return _NULL
+    path = model_path()
+    policy = _POLICY_CACHE.get(path)
+    if policy is None:
+        try:
+            policy = ModelPolicy(load_model(path))
+        except Exception:  # noqa: BLE001 - absent/corrupt model degrades
+            METRICS.inc("select.model_errors")
+            policy = _NULL
+        _POLICY_CACHE[path] = policy
+    return policy
+
+
+def reset_policy() -> None:
+    """Drop cached models (tests that swap ``REPRO_SELECT_MODEL`` files)."""
+    _POLICY_CACHE.clear()

@@ -56,6 +56,8 @@ from ..gpusim import get_device
 from ..graphs import load_graph
 from ..obs import METRICS, get_tracer, observe_latency
 from ..obs.tracer import HOST_TRACK
+from ..perf.fingerprint import structural_features
+from ..select.policy import active_policy
 from .estimator import quick_estimate
 from .request import (
     STATUS_DEGRADED,
@@ -190,6 +192,13 @@ class EstimationServer:
         #: alive; always acquired before _cond, never after.
         self._lifecycle = threading.Lock()
         self._ewma_full_s = float(initial_full_cost_s)
+        #: (graph, max_edges) -> selection-policy cost scale (or None
+        #: when the policy declines).  Computed once per graph by the
+        #: batching worker; the lock only guards dict get/put (feature
+        #: extraction happens outside it) and is never held together
+        #: with any other lock.
+        self._cost_scales: dict[tuple, float | None] = {}
+        self._scale_lock = threading.Lock()
         self._batch_seq = 0
         self._stats_lock = threading.Lock()
         self._stats: dict[str, int] = {
@@ -483,10 +492,22 @@ class EstimationServer:
             return
 
         # Predicted per-request full-path cost: the engine's per-graph
-        # prior when this graph has history (cache hits included), the
-        # cold-start EWMA otherwise.
+        # prior when this graph has history (cache hits included);
+        # otherwise the cold-start EWMA, scaled by the selection
+        # policy's relative-cost prediction for this graph's structure
+        # when a model covers it.  With selection off (REPRO_NO_SELECT,
+        # or no loadable model) the scale is None and this is exactly
+        # the historical EWMA value — bit-for-bit identical triage.
         prior_s = cost_priors().predict(graph_name)
-        predicted_s = prior_s if prior_s is not None else self._ewma_full_s
+        if prior_s is not None:
+            predicted_s = prior_s
+        else:
+            scale = self._selector_scale(key, S)
+            predicted_s = (
+                self._ewma_full_s
+                if scale is None
+                else self._ewma_full_s * scale
+            )
 
         full: dict[tuple, list[_Pending]] = {}  # signature -> requests
         quick: list[_Pending] = []
@@ -579,6 +600,28 @@ class EstimationServer:
                     )
                 self._resolve(p, resp)
 
+    def _selector_scale(self, key: tuple, S) -> float | None:
+        """Selection-policy cost scale for one loaded graph, memoized.
+
+        ``None`` means the policy declined (disabled, no model) and the
+        caller must use the plain EWMA — the degrade contract.  The
+        answer is computed at most once per ``(graph, max_edges)``:
+        feature extraction is pure CPU but not free, and a graph's
+        structure never changes under the server.  Coverage counters
+        (``select.cost_hits`` / ``select.cost_misses``) tick once per
+        graph, not per request.
+        """
+        with self._scale_lock:
+            if key in self._cost_scales:
+                return self._cost_scales[key]
+        scale = active_policy().cost_scale(structural_features(S))
+        METRICS.inc(
+            "select.cost_hits" if scale is not None else "select.cost_misses"
+        )
+        with self._scale_lock:
+            self._cost_scales[key] = scale
+        return scale
+
     # -- resolution -----------------------------------------------------
     def _response(
         self,
@@ -648,12 +691,22 @@ class EstimationServer:
 
     def predicted_cost_s(self, graph: str | None = None) -> float:
         """Predicted full-path seconds per request — the per-graph cost
-        prior when ``graph`` has history, the cold-start EWMA otherwise.
-        Front ends scale this into a Retry-After-style shed hint."""
+        prior when ``graph`` has history, else the cold-start EWMA
+        (scaled by the selection policy's prediction when the batching
+        worker has already sized this graph).  Front ends scale this
+        into a Retry-After-style shed hint."""
         if graph is not None:
             prior_s = cost_priors().predict(graph)
             if prior_s is not None:
                 return prior_s
+            with self._scale_lock:
+                scales = [
+                    s
+                    for (g, _), s in self._cost_scales.items()
+                    if g == graph and s is not None
+                ]
+            if scales:
+                return self._ewma_full_s * scales[0]
         return self._ewma_full_s
 
     @property

@@ -1,46 +1,20 @@
 """Structural features of a sampled world graph.
 
-One row per config in the world report: the feature table the
-ROADMAP's input-aware auto-selection item will train on.  Everything
-here is a deterministic function of the matrix structure (the same
-quantities the estimate-cache fingerprint and the cost priors already
-key on), so feature rows are byte-stable across runs and processes.
+One row per config in the world report: the feature table
+:mod:`repro.select` trains on.  The actual extraction lives in
+:mod:`repro.perf.fingerprint` (``structural_features`` /
+``feature_vector`` / ``FEATURE_NAMES``) next to the other
+structure-only derivations, so the selection layer, the serving tier
+and the world sweep all read the *same* feature definition; this module
+re-exports it for the world report's callers.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from ..perf.fingerprint import (  # noqa: F401  (re-exports)
+    FEATURE_NAMES,
+    feature_vector,
+    structural_features,
+)
 
-from ..formats import HybridMatrix
-from ..graphs import DegreeStats
-
-
-def structural_features(S: HybridMatrix) -> dict:
-    """Feature vector for one graph, JSON-ready.
-
-    Degree dispersion (cv), tail mass (p99 / heavy-row fraction) and
-    density are the axes the paper's own sensitivity study (Fig. 12)
-    shows drive kernel crossovers; empty-row fraction separates the
-    row-parallel baselines, which pay for rows they skip.
-    """
-    n = int(S.shape[0])
-    deg = S.row_degrees()
-    stats = DegreeStats.of(S)
-    if deg.size:
-        p99 = float(np.quantile(deg, 0.99))
-        heavy = float(np.mean(deg > 4.0 * stats.mean)) if stats.mean else 0.0
-        empty = float(np.mean(deg == 0))
-    else:
-        p99, heavy, empty = 0.0, 0.0, 0.0
-    return {
-        "nodes": n,
-        "nnz": int(S.nnz),
-        "density": float(S.nnz / (n * n)) if n else 0.0,
-        "degree_mean": stats.mean,
-        "degree_std": stats.std,
-        "degree_cv": stats.cv,
-        "degree_max": stats.max,
-        "degree_p99": p99,
-        "frac_heavy_rows": heavy,
-        "frac_empty_rows": empty,
-    }
+__all__ = ["FEATURE_NAMES", "feature_vector", "structural_features"]

@@ -16,6 +16,7 @@ import os
 
 from ..bench.runner import results_dir
 from ..obs import METRICS, write_manifest
+from ..select.dataset import training_block
 from .crossover import (
     DEFAULT_DEGREE_BUCKETS,
     DEFAULT_SKEW_BUCKETS,
@@ -47,6 +48,7 @@ def build_report(
         skew_buckets=skew_buckets,
     )
     METRICS.inc("world.regions", len(crossover["regions"]))
+    points = [p.to_dict() for p in result.points]
     return {
         "schema": SCHEMA,
         "world": {
@@ -61,7 +63,13 @@ def build_report(
             # inline or sharded; the manifest's config block records it.
             "skipped_kernels": dict(sorted(result.skipped_kernels.items())),
         },
-        "points": [p.to_dict() for p in result.points],
+        "points": points,
+        # The selection layer's training matrix, first-class: feature
+        # vectors in canonical order, oracle winner + margin, schedule,
+        # and per-kernel totals (regret pricing) per config.  Derived
+        # deterministically from the points above, so the report's
+        # byte-determinism gate covers it too.
+        "training": training_block(points),
         "ranking": kernel_ranking(result.rows, result.kernels),
         "crossover": crossover,
         "errors": result.errors,

@@ -207,12 +207,7 @@ def run_world_sweep(
                     kernels=records,
                     winner=winner,
                     margin=margin,
-                    partition={
-                        "nnz_per_warp": part.nnz_per_warp,
-                        "vector_width": part.vector_width,
-                        "waves": part.waves,
-                        "satisfies_constraint": part.satisfies_constraint,
-                    },
+                    partition=part.schedule_dict(),
                 )
             )
             rows.append(

@@ -1,0 +1,486 @@
+"""The selection layer: dataset, CART, policy, engine/bench/serve paths."""
+
+import json
+
+import pytest
+
+from repro.config.registry import ENV_VARS, declared
+from repro.engine import Engine, cost_priors, valid_kernels
+from repro.graphs import load_graph
+from repro.obs import METRICS
+from repro.perf import FEATURE_NAMES, get_estimate_cache, structural_features
+from repro.select import (
+    DEFAULT_MODEL_PATH,
+    ROWS_SCHEMA,
+    Candidate,
+    ModelFormatError,
+    ModelPolicy,
+    NullPolicy,
+    SelectionModel,
+    active_policy,
+    default_topk,
+    evaluate_model,
+    fit_model,
+    load_model,
+    model_path,
+    reset_policy,
+    save_model,
+    select_enabled,
+    training_block,
+    training_rows,
+)
+from repro.select.__main__ import main as select_main
+from repro.select.policy import _COST_SCALE_MAX, _COST_SCALE_MIN
+
+pytestmark = pytest.mark.select
+
+#: Small enough that graph generation and estimates are milliseconds.
+MAX_EDGES = 20_000
+
+
+@pytest.fixture(autouse=True)
+def fresh_selection_state():
+    METRICS.reset()
+    reset_policy()
+    get_estimate_cache().clear()
+    cost_priors().reset()
+    yield
+    METRICS.reset()
+    reset_policy()
+    cost_priors().reset()
+
+
+# ----------------------------------------------------------------------
+# Hand-built training fixture: two kernels, winner flips on degree_mean
+# ----------------------------------------------------------------------
+
+
+def _x(nnz, degree_mean):
+    features = {name: 0.0 for name in FEATURE_NAMES}
+    features["nnz"] = nnz
+    features["degree_mean"] = degree_mean
+    return [features[name] for name in FEATURE_NAMES]
+
+
+def _row(name, nnz, degree_mean, winner, times):
+    return {
+        "name": name,
+        "x": _x(nnz, degree_mean),
+        "winner": winner,
+        "margin": 1.5,
+        "nnz_per_warp": 32,
+        "vector_width": 4,
+        "times": times,
+    }
+
+
+def _fixture_rows():
+    rows = []
+    for i, deg in enumerate((2.0, 3.0, 4.0)):
+        rows.append(
+            _row(f"lo-{i}", 100.0 * (i + 1), deg, "sparse-k",
+                 {"sparse-k": 1.0, "dense-k": 2.0})
+        )
+    for i, deg in enumerate((20.0, 30.0)):
+        rows.append(
+            _row(f"hi-{i}", 1000.0 * (i + 1), deg, "dense-k",
+                 {"sparse-k": 4.0, "dense-k": 1.0})
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Dataset extraction
+# ----------------------------------------------------------------------
+
+
+def _point(name, winner="a-k", status="ok"):
+    return {
+        "config": {"name": name},
+        "features": {fname: 1.0 for fname in FEATURE_NAMES},
+        "kernels": {
+            "a-k": {"status": status, "total_time_s": 1.0},
+            "b-k": {"status": "error", "error": "boom"},
+        },
+        "winner": winner,
+        "margin": None,
+        "partition": {"nnz_per_warp": 64, "vector_width": 2},
+    }
+
+
+def test_training_rows_shape_and_unlabeled_drop():
+    rows = training_rows([_point("p0"), _point("p1", winner=None)])
+    assert [r["name"] for r in rows] == ["p0"]
+    row = rows[0]
+    assert len(row["x"]) == len(FEATURE_NAMES)
+    # Only ok kernels are priced; the errored one carries no total.
+    assert row["times"] == {"a-k": 1.0}
+    assert row["nnz_per_warp"] == 64 and row["vector_width"] == 2
+
+
+def test_training_block_schema():
+    block = training_block([_point("p0")])
+    assert block["schema"] == ROWS_SCHEMA
+    assert block["feature_names"] == list(FEATURE_NAMES)
+    assert len(block["rows"]) == 1
+
+
+# ----------------------------------------------------------------------
+# CART: fit, determinism, serialization, evaluation
+# ----------------------------------------------------------------------
+
+
+def test_fit_learns_the_flip_and_ranks_runnersup():
+    model = fit_model(_fixture_rows())
+    lo = model.leaf_for_x(_x(150.0, 3.5))
+    hi = model.leaf_for_x(_x(1500.0, 25.0))
+    assert lo["ranking"][0]["kernel"] == "sparse-k"
+    assert hi["ranking"][0]["kernel"] == "dense-k"
+    # The full field is ranked at every leaf, not just the winner.
+    assert [e["kernel"] for e in lo["ranking"]] == ["sparse-k", "dense-k"]
+    assert lo["nnz_per_warp"] == 32 and lo["vector_width"] == 4
+    assert model.stats["top1_train"] == 1.0
+    assert model.kernels == ["dense-k", "sparse-k"]
+
+
+def test_fit_is_byte_deterministic():
+    a = fit_model(_fixture_rows(), sources=("w.json",))
+    b = fit_model(_fixture_rows(), sources=("w.json",))
+    assert a.to_json() == b.to_json()
+
+
+def test_save_load_round_trip(tmp_path):
+    model = fit_model(_fixture_rows())
+    path = save_model(model, str(tmp_path / "m.json"))
+    reloaded = load_model(path)
+    assert reloaded.to_json() == model.to_json()
+    x = _x(150.0, 3.5)
+    assert reloaded.leaf_for_x(x) == model.leaf_for_x(x)
+
+
+def test_model_format_validation(tmp_path):
+    with pytest.raises(ModelFormatError):
+        SelectionModel({"schema": "bogus/v1"})
+    good = fit_model(_fixture_rows()).data
+    missing = {k: v for k, v in good.items() if k != "tree"}
+    with pytest.raises(ModelFormatError):
+        SelectionModel(missing)
+    renamed = dict(good, feature_names=["x0", "x1"])
+    with pytest.raises(ModelFormatError):
+        SelectionModel(renamed)
+    with pytest.raises(ModelFormatError):
+        SelectionModel.from_json("{not json")
+
+
+def test_evaluate_model_prices_regret():
+    rows = _fixture_rows()
+    model = fit_model(rows)
+    perfect = evaluate_model(model, rows)
+    assert perfect["top1_accuracy"] == 1.0
+    assert perfect["mean_regret"] == 0.0
+    assert perfect["unpriced"] == 0
+    # Flip one label: the model now misses it, and the miss is priced
+    # against the flipped row's own totals (1.0 predicted / 2.0 winner).
+    flipped = [dict(rows[0], winner="dense-k")] + rows[1:]
+    scored = evaluate_model(model, flipped)
+    assert scored["top1_correct"] == len(rows) - 1
+    assert scored["regret_points"] == len(rows)
+    assert scored["mean_regret"] == pytest.approx(
+        (1.0 / 2.0 - 1.0) / len(rows)
+    )
+
+
+def test_fit_rejects_bad_args():
+    with pytest.raises(ValueError):
+        fit_model([])
+    with pytest.raises(ValueError):
+        fit_model(_fixture_rows(), max_depth=0)
+    with pytest.raises(ValueError):
+        fit_model(_fixture_rows(), min_leaf=0)
+
+
+# ----------------------------------------------------------------------
+# Policy resolution: env kill switch, model cache, degrade on failure
+# ----------------------------------------------------------------------
+
+
+def test_default_policy_covers_spmm():
+    policy = active_policy()
+    assert isinstance(policy, ModelPolicy)
+    assert policy.covers("spmm") and not policy.covers("sddmm")
+    assert model_path() == DEFAULT_MODEL_PATH
+
+
+def test_kill_switch_yields_null_policy(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_SELECT", "1")
+    assert not select_enabled()
+    policy = active_policy()
+    assert isinstance(policy, NullPolicy)
+    assert policy.rank("spmm", {}) is None
+    assert policy.cost_scale({}) is None
+
+
+def test_absent_model_degrades_and_counts_once(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_SELECT_MODEL", str(tmp_path / "nope.json"))
+    assert isinstance(active_policy(), NullPolicy)
+    assert isinstance(active_policy(), NullPolicy)
+    # The failed load is cached: one error per process, not per call.
+    assert METRICS.get("select.model_errors") == 1
+
+
+def test_corrupt_model_degrades(monkeypatch, tmp_path):
+    bad = tmp_path / "corrupt.json"
+    bad.write_text("{\"schema\": \"repro.select/v1\"}")
+    monkeypatch.setenv("REPRO_SELECT_MODEL", str(bad))
+    assert isinstance(active_policy(), NullPolicy)
+    assert METRICS.get("select.model_errors") == 1
+
+
+def test_rank_restricts_and_backfills():
+    policy = ModelPolicy(fit_model(_fixture_rows()))
+    features = dict(zip(FEATURE_NAMES, _x(150.0, 3.5)))
+    out = policy.rank("spmm", features, kernels=["sparse-k", "zz-unseen"])
+    assert [c.kernel for c in out] == ["sparse-k", "zz-unseen"]
+    assert out[0].score > 0.0
+    assert out[1].score == 0.0           # backfilled, never seen in training
+    assert out[1].nnz_per_warp == 32     # still carries the leaf schedule
+    assert policy.rank("sddmm", features) is None
+
+
+def test_cost_scale_tracks_leaf_nnz_and_clamps():
+    policy = ModelPolicy(fit_model(_fixture_rows()))
+    mean_nnz = policy.model.mean_nnz
+    lo = policy.cost_scale(dict(zip(FEATURE_NAMES, _x(150.0, 3.5))))
+    hi = policy.cost_scale(dict(zip(FEATURE_NAMES, _x(1500.0, 25.0))))
+    assert lo < 1.0 < hi
+    assert _COST_SCALE_MIN <= lo <= hi <= _COST_SCALE_MAX
+    assert mean_nnz > 0
+
+
+# ----------------------------------------------------------------------
+# Engine.select: hit/miss paths and counters
+# ----------------------------------------------------------------------
+
+
+def test_engine_select_hit_narrows_to_topk():
+    sel = Engine().select(
+        "spmm", graph="aifb", max_edges=MAX_EDGES, top_k=2
+    )
+    assert sel.predicted and sel.policy == "model"
+    assert len(sel.requests) == 2
+    assert sel.kernels == tuple(c.kernel for c in sel.candidates[:2])
+    # The candidate list still covers the whole requested field.
+    assert sorted(c.kernel for c in sel.candidates) == sorted(valid_kernels("spmm"))
+    for request in sel.requests:
+        assert request.op == "spmm" and request.graph == "aifb"
+        assert request.max_edges == MAX_EDGES
+    assert METRICS.get("select.requests") == 1
+    assert METRICS.get("select.hits") == 1
+
+
+def test_engine_select_miss_is_the_full_field(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_SELECT", "1")
+    sel = Engine().select("spmm", graph="aifb", max_edges=MAX_EDGES)
+    assert not sel.predicted and sel.policy == "null"
+    assert list(sel.kernels) == list(valid_kernels("spmm"))
+    assert all(isinstance(c, Candidate) and c.score == 0.0
+               for c in sel.candidates)
+    assert METRICS.get("select.misses") == 1
+
+
+def test_engine_select_default_width_is_env_topk(monkeypatch):
+    monkeypatch.setenv("REPRO_SELECT_TOPK", "4")
+    assert default_topk() == 4
+    sel = Engine().select("spmm", graph="aifb", max_edges=MAX_EDGES)
+    assert len(sel.requests) == 4
+
+
+# ----------------------------------------------------------------------
+# Golden predicted-frontier equivalence (bench path)
+# ----------------------------------------------------------------------
+
+
+def test_predicted_frontier_is_byte_identical_restriction():
+    from repro.bench import FRONTIER_KERNELS, restrict_result, run_frontier
+
+    graphs = ("aifb", "mutag")
+    full = run_frontier(graphs=graphs, max_edges=MAX_EDGES)
+    predicted = run_frontier(graphs=graphs, max_edges=MAX_EDGES, top_k=3)
+    for g in graphs:
+        assert predicted.predicted[g]
+        assert len(predicted.frontier[g]) == 3
+        assert set(predicted.frontier[g]) <= set(FRONTIER_KERNELS)
+        assert full.frontier[g] == FRONTIER_KERNELS
+    # The contract the report format is designed around: the oracle
+    # sweep restricted to the predicted kernels renders byte-identically
+    # to the predicted run — estimates don't depend on sweep company.
+    restricted = restrict_result(full, predicted.frontier)
+    assert restricted.render() == predicted.render()
+
+
+def test_frontier_falls_back_to_full_field_without_model(monkeypatch):
+    from repro.bench import FRONTIER_KERNELS, run_frontier
+
+    monkeypatch.setenv("REPRO_NO_SELECT", "1")
+    result = run_frontier(graphs=("aifb",), max_edges=MAX_EDGES, top_k=3)
+    # The policy declined, so the "predicted" run swept everything:
+    # the sweep never silently shrinks below what was promised.
+    assert result.frontier["aifb"] == FRONTIER_KERNELS
+    assert not result.predicted["aifb"]
+
+
+# ----------------------------------------------------------------------
+# Serve: cost-scaled triage with a bit-for-bit degrade path
+# ----------------------------------------------------------------------
+
+
+def _serve_req(**kw):
+    from repro.serve import EstimateRequest
+
+    base = dict(
+        op="spmm", kernel="hp-spmm", graph="aifb", k=32,
+        device="v100", max_edges=MAX_EDGES,
+    )
+    base.update(kw)
+    return EstimateRequest(**base)
+
+
+def test_serve_triage_scales_ewma_when_model_covers():
+    from repro.serve import STATUS_DEGRADED, EstimationServer
+
+    S = load_graph("aifb", max_edges=MAX_EDGES).matrix
+    scale = active_policy().cost_scale(structural_features(S))
+    assert scale is not None
+    with EstimationServer(initial_full_cost_s=100.0) as server:
+        resp = server.estimate(_serve_req(deadline_s=5.0), timeout=60.0)
+        assert resp.status == STATUS_DEGRADED
+        # The shed hint reflects the scaled cold-start estimate.
+        assert server.predicted_cost_s("aifb") == pytest.approx(100.0 * scale)
+    assert METRICS.get("select.cost_hits") == 1
+
+
+def test_serve_triage_is_bitforbit_historical_when_disabled(monkeypatch):
+    from repro.serve import STATUS_DEGRADED, EstimationServer
+
+    monkeypatch.setenv("REPRO_NO_SELECT", "1")
+    with EstimationServer(initial_full_cost_s=100.0) as server:
+        resp = server.estimate(_serve_req(deadline_s=5.0), timeout=60.0)
+        assert resp.status == STATUS_DEGRADED
+        # Unscaled EWMA, exactly the pre-selection behavior.
+        assert server.predicted_cost_s("aifb") == 100.0
+    assert METRICS.get("select.cost_hits") == 0
+    # The decline is still visible in telemetry (once per graph).
+    assert METRICS.get("select.cost_misses") == 1
+
+
+def test_serve_full_path_result_is_selection_invariant(monkeypatch):
+    from repro.serve import STATUS_OK, EstimationServer
+
+    with EstimationServer() as server:
+        with_model = server.estimate(_serve_req(), timeout=60.0)
+    cost_priors().reset()
+    get_estimate_cache().clear()
+    monkeypatch.setenv("REPRO_NO_SELECT", "1")
+    with EstimationServer() as server:
+        without = server.estimate(_serve_req(), timeout=60.0)
+    assert with_model.status == without.status == STATUS_OK
+    # Selection shapes triage only; the estimate itself is untouched.
+    assert with_model.time_s == without.time_s
+    assert with_model.bound == without.bound
+
+
+# ----------------------------------------------------------------------
+# World report carries the training matrix; CLI round-trip
+# ----------------------------------------------------------------------
+
+
+def _world_report(tmp_path, monkeypatch):
+    from repro.world import build_report, run_world_sweep, sample_universe
+
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    configs = sample_universe(4, seed=0, max_nodes=320)
+    result = run_world_sweep(
+        configs, kernels=["ge-spmm", "hp-spmm", "row-split"]
+    )
+    return build_report(result, mode="sampled", seed=0)
+
+
+def test_world_report_embeds_training_block(tmp_path, monkeypatch):
+    report = _world_report(tmp_path, monkeypatch)
+    block = report["training"]
+    assert block["schema"] == ROWS_SCHEMA
+    assert block["feature_names"] == list(FEATURE_NAMES)
+    labeled = [p for p in report["points"] if p["winner"] is not None]
+    assert len(block["rows"]) == len(labeled)
+    for row, point in zip(block["rows"], labeled):
+        assert row["winner"] == point["winner"]
+        assert row["nnz_per_warp"] == point["partition"]["nnz_per_warp"]
+
+
+def test_cli_fit_eval_round_trip(tmp_path, monkeypatch, capsys):
+    from repro.world import write_world_report
+
+    report = _world_report(tmp_path, monkeypatch)
+    report_path = write_world_report(report, "selftest")
+    model_a = str(tmp_path / "model_a.json")
+    model_b = str(tmp_path / "model_b.json")
+    assert select_main(["--fit", report_path, "--out", model_a]) == 0
+    assert select_main(["--fit", report_path, "--out", model_b]) == 0
+    # The CI cmp gate in miniature: same report -> byte-identical model.
+    assert open(model_a, "rb").read() == open(model_b, "rb").read()
+
+    capsys.readouterr()
+    assert select_main(
+        ["--eval", report_path, "--model", model_a, "--json"]
+    ) == 0
+    result = json.loads(capsys.readouterr().out)
+    assert result["points"] == 4
+    assert 0.0 <= result["top1_accuracy"] <= 1.0
+    assert result["mean_regret"] >= 0.0
+    assert result["model"] == "model_a.json"
+
+
+def test_cli_min_top1_gate_fails_below_threshold(tmp_path, monkeypatch):
+    from repro.world import write_world_report
+
+    report = _world_report(tmp_path, monkeypatch)
+    report_path = write_world_report(report, "gate")
+    model = str(tmp_path / "model.json")
+    assert select_main(["--fit", report_path, "--out", model]) == 0
+    # Accuracy can never exceed 1.0, so a 1.1 gate must always trip.
+    assert select_main(
+        ["--eval", report_path, "--model", model, "--min-top1", "1.1"]
+    ) == 1
+
+
+def test_cli_show_and_missing_model(tmp_path, capsys):
+    assert select_main(["--show"]) == 0
+    out = capsys.readouterr().out
+    assert DEFAULT_MODEL_PATH in out and "spmm" in out
+    missing = str(tmp_path / "nope.json")
+    assert select_main(["--show", "--model", missing]) == 1
+
+
+# ----------------------------------------------------------------------
+# Env registry
+# ----------------------------------------------------------------------
+
+
+def test_select_env_vars_declared():
+    for name in (
+        "REPRO_SELECT_MODEL",
+        "REPRO_SELECT_TOPK",
+        "REPRO_NO_SELECT",
+    ):
+        assert declared(name), name
+        assert ENV_VARS[name].subsystem == "select"
+
+
+def test_packaged_default_model_is_valid_and_current():
+    model = load_model(DEFAULT_MODEL_PATH)
+    assert model.op == "spmm"
+    assert model.data["feature_names"] == list(FEATURE_NAMES)
+    # Every kernel the model ranks is still registered for SpMM, so a
+    # kernel rename forces a model refit rather than silent misses.
+    assert set(model.kernels) <= set(valid_kernels("spmm"))
+    assert model.stats["top1_train"] >= 0.8
